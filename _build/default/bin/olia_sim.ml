@@ -1,0 +1,331 @@
+(* olia_sim: command-line front end for the OLIA reproduction.
+
+   Subcommands:
+     scenario-a | scenario-b | scenario-c   testbed scenarios (paper §III/VI)
+     trace                                  two-bottleneck window traces
+     fattree                                static FatTree experiment
+     fattree-dynamic                        short-flow experiment
+     fluid                                  analytical fixed points *)
+
+open Cmdliner
+module S = Mptcp_repro.Scenarios
+module F = Mptcp_repro.Fluid
+
+(* --- common options ---------------------------------------------------- *)
+
+let algo =
+  let doc = "Congestion control: reno, lia, olia, balia or coupled:<eps>." in
+  Arg.(value & opt string "olia" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let seed =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let duration =
+  let doc = "Simulated duration in seconds." in
+  Arg.(value & opt float 120. & info [ "duration"; "d" ] ~docv:"SEC" ~doc)
+
+let warmup =
+  let doc = "Warm-up excluded from the measurements, seconds." in
+  Arg.(value & opt float 30. & info [ "warmup"; "w" ] ~docv:"SEC" ~doc)
+
+let n1 =
+  let doc = "Number of multipath (type-1) users." in
+  Arg.(value & opt int 10 & info [ "n1" ] ~docv:"N" ~doc)
+
+let n2 =
+  let doc = "Number of single-path (type-2) users." in
+  Arg.(value & opt int 10 & info [ "n2" ] ~docv:"N" ~doc)
+
+let c1 =
+  let doc = "Per-user capacity C1, Mb/s." in
+  Arg.(value & opt float 1. & info [ "c1" ] ~docv:"MBPS" ~doc)
+
+let c2 =
+  let doc = "Per-user capacity C2, Mb/s." in
+  Arg.(value & opt float 1. & info [ "c2" ] ~docv:"MBPS" ~doc)
+
+(* --- scenario A --------------------------------------------------------- *)
+
+let run_scenario_a algo n1 n2 c1 c2 duration warmup seed =
+  let r =
+    S.Scen_a.run
+      { S.Scen_a.n1; n2; c1_mbps = c1; c2_mbps = c2; algo; duration; warmup;
+        seed }
+  in
+  Printf.printf
+    "scenario A (%s): type1 %.3f, type2 %.3f (normalized); p1 %.4f, p2 %.4f\n"
+    algo r.S.Scen_a.norm_type1 r.S.Scen_a.norm_type2 r.S.Scen_a.p1
+    r.S.Scen_a.p2
+
+let scenario_a_cmd =
+  let doc = "Scenario A: MPTCP streamers sharing an AP with TCP users." in
+  Cmd.v
+    (Cmd.info "scenario-a" ~doc)
+    Term.(
+      const run_scenario_a $ algo $ n1 $ n2 $ c1 $ c2 $ duration $ warmup
+      $ seed)
+
+(* --- scenario B --------------------------------------------------------- *)
+
+let run_scenario_b algo red_multipath cx ct duration warmup seed =
+  let r =
+    S.Scen_b.run
+      { S.Scen_b.n = 15; cx_mbps = cx; ct_mbps = ct; red_multipath; algo;
+        duration; warmup; seed }
+  in
+  Printf.printf
+    "scenario B (%s, red %s): blue %.2f, red %.2f Mb/s per user; aggregate \
+     %.1f Mb/s; pX %.4f, pT %.4f\n"
+    algo
+    (if red_multipath then "multipath" else "single-path")
+    r.S.Scen_b.blue_rate r.S.Scen_b.red_rate r.S.Scen_b.aggregate
+    r.S.Scen_b.px r.S.Scen_b.pt
+
+let scenario_b_cmd =
+  let red_mp =
+    Arg.(value & flag & info [ "red-multipath" ]
+           ~doc:"Red users upgrade to MPTCP.")
+  in
+  let cx =
+    Arg.(value & opt float 27. & info [ "cx" ] ~docv:"MBPS"
+           ~doc:"ISP X capacity.")
+  in
+  let ct =
+    Arg.(value & opt float 36. & info [ "ct" ] ~docv:"MBPS"
+           ~doc:"ISP T capacity.")
+  in
+  let doc = "Scenario B: the four-ISP multihoming story (Tables I-II)." in
+  Cmd.v
+    (Cmd.info "scenario-b" ~doc)
+    Term.(
+      const run_scenario_b $ algo $ red_mp $ cx $ ct $ duration $ warmup
+      $ seed)
+
+(* --- scenario C --------------------------------------------------------- *)
+
+let run_scenario_c algo n1 n2 c1 c2 duration warmup seed background
+    path_manager =
+  let r =
+    S.Scen_c.run
+      { S.Scen_c.n1; n2; c1_mbps = c1; c2_mbps = c2; algo; duration; warmup;
+        seed; background_mbps = background; with_path_manager = path_manager }
+  in
+  Printf.printf
+    "scenario C (%s): multipath %.3f, single %.3f (normalized); p1 %.4f, p2 \
+     %.4f\n"
+    algo r.S.Scen_c.norm_multipath r.S.Scen_c.norm_single r.S.Scen_c.p1
+    r.S.Scen_c.p2
+
+let scenario_c_cmd =
+  let background =
+    Arg.(value & opt float 0. & info [ "background" ] ~docv:"MBPS"
+           ~doc:"CBR background traffic through AP2.")
+  in
+  let path_manager =
+    Arg.(value & flag & info [ "path-manager" ]
+           ~doc:"Attach the bad-path-discarding manager to multipath users.")
+  in
+  let doc = "Scenario C: multipath users sharing AP2 with TCP users." in
+  Cmd.v
+    (Cmd.info "scenario-c" ~doc)
+    Term.(
+      const run_scenario_c $ algo $ n1 $ n2 $ c1 $ c2 $ duration $ warmup
+      $ seed $ background $ path_manager)
+
+(* --- traces -------------------------------------------------------------- *)
+
+let run_trace algo asymmetric duration seed =
+  let base =
+    if asymmetric then S.Two_bottleneck.asymmetric
+    else S.Two_bottleneck.symmetric
+  in
+  let t = S.Two_bottleneck.run { base with algo; duration; seed } in
+  Printf.printf
+    "two-bottleneck (%s, %s): goodput %.2f / %.2f Mb/s, window flips %d\n"
+    algo
+    (if asymmetric then "asymmetric" else "symmetric")
+    t.S.Two_bottleneck.goodput1_mbps t.S.Two_bottleneck.goodput2_mbps
+    t.S.Two_bottleneck.flip_count;
+  print_endline "t(s)  w1      w2      alpha1  alpha2";
+  let every = Stdlib.max 1 (int_of_float (duration /. 40.)) in
+  let w1 = Mptcp_repro.Stats.Timeseries.to_array t.S.Two_bottleneck.w1 in
+  let w2 = Mptcp_repro.Stats.Timeseries.to_array t.S.Two_bottleneck.w2 in
+  let a1 = Mptcp_repro.Stats.Timeseries.to_array t.S.Two_bottleneck.alpha1 in
+  let a2 = Mptcp_repro.Stats.Timeseries.to_array t.S.Two_bottleneck.alpha2 in
+  Array.iteri
+    (fun i (time, w) ->
+      if i mod (every * 10) = 0 then
+        Printf.printf "%5.1f %7.2f %7.2f %+.2f %+.2f\n" time w (snd w2.(i))
+          (snd a1.(i)) (snd a2.(i)))
+    w1
+
+let trace_cmd =
+  let asym =
+    Arg.(value & flag & info [ "asymmetric" ]
+           ~doc:"Use the Fig. 8 setting (5 vs 10 TCP flows).")
+  in
+  let doc = "Window and alpha traces of a two-path connection (Figs. 7-8)." in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ algo $ asym $ duration $ seed)
+
+(* --- fattree ------------------------------------------------------------- *)
+
+let run_fattree algo k subflows rate duration warmup seed =
+  let r =
+    S.Fattree_static.run
+      { S.Fattree_static.k; rate_mbps = rate; delay_ms = 1.; subflows; algo;
+        duration; warmup; seed }
+  in
+  Printf.printf
+    "fattree k=%d %s sf=%d: aggregate %.1f%% of optimal, mean core loss %.4f\n"
+    k algo subflows r.S.Fattree_static.aggregate_pct_optimal
+    r.S.Fattree_static.mean_core_loss
+
+let k_arg =
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K"
+         ~doc:"FatTree arity (even; k=8 gives 128 hosts).")
+
+let subflows =
+  Arg.(value & opt int 8 & info [ "subflows"; "s" ] ~docv:"N"
+         ~doc:"MPTCP subflows per connection (1 = plain TCP).")
+
+let rate =
+  Arg.(value & opt float 10. & info [ "rate" ] ~docv:"MBPS"
+         ~doc:"Host link rate.")
+
+let fattree_cmd =
+  let doc = "Static FatTree permutation experiment (Fig. 13)." in
+  Cmd.v
+    (Cmd.info "fattree" ~doc)
+    Term.(
+      const run_fattree $ algo $ k_arg $ subflows $ rate $ duration $ warmup
+      $ seed)
+
+let run_fattree_dynamic algo k subflows rate duration warmup seed =
+  let r =
+    S.Fattree_dynamic.run
+      { S.Fattree_dynamic.k; rate_mbps = rate; delay_ms = 1.;
+        oversubscription = 4.; algo; subflows; mean_interval = 0.2; duration;
+        warmup; seed }
+  in
+  Printf.printf
+    "fattree-dynamic k=%d %s: short flows %.0f ± %.0f ms, core %.1f%%, long \
+     %.2f Mb/s (%d shorts unfinished)\n"
+    k algo r.S.Fattree_dynamic.mean_completion_ms
+    r.S.Fattree_dynamic.stdev_completion_ms
+    r.S.Fattree_dynamic.core_utilization_pct r.S.Fattree_dynamic.long_flow_mbps
+    r.S.Fattree_dynamic.unfinished_shorts
+
+let fattree_dynamic_cmd =
+  let rate =
+    Arg.(value & opt float 100. & info [ "rate" ] ~docv:"MBPS"
+           ~doc:"Host link rate.")
+  in
+  let doc = "Dynamic short-flow experiment (Fig. 14, Table III)." in
+  Cmd.v
+    (Cmd.info "fattree-dynamic" ~doc)
+    Term.(
+      const run_fattree_dynamic $ algo $ k_arg $ subflows $ rate $ duration
+      $ warmup $ seed)
+
+(* --- responsiveness --------------------------------------------------------- *)
+
+let run_responsiveness algo seed =
+  let r =
+    S.Responsiveness.run { S.Responsiveness.default with algo; seed }
+  in
+  Printf.printf
+    "responsiveness (%s): pre-shock share %.2f; flees in %.1f s; reclaims \
+     in %.1f s; post-relief share %.2f\n"
+    algo r.S.Responsiveness.pre_shock_share r.S.Responsiveness.shock_response_s
+    r.S.Responsiveness.relief_response_s r.S.Responsiveness.post_relief_share
+
+let responsiveness_cmd =
+  let doc = "Shock/relief responsiveness experiment (paper SII claim)." in
+  Cmd.v
+    (Cmd.info "responsiveness" ~doc)
+    Term.(const run_responsiveness $ algo $ seed)
+
+(* --- wireless ---------------------------------------------------------------- *)
+
+let run_wireless algo seed duration warmup =
+  let r =
+    S.Wireless.run { S.Wireless.default with algo; seed; duration; warmup }
+  in
+  Printf.printf
+    "wireless (%s): wifi %.2f + cellular %.2f = %.2f Mb/s (wifi timeouts %d)\n"
+    algo r.S.Wireless.wifi_mbps r.S.Wireless.cell_mbps r.S.Wireless.total_mbps
+    r.S.Wireless.wifi_timeouts
+
+let wireless_cmd =
+  let doc = "WiFi+cellular bonding with random wireless losses (ref. [12])." in
+  Cmd.v
+    (Cmd.info "wireless" ~doc)
+    Term.(const run_wireless $ algo $ seed $ duration $ warmup)
+
+(* --- fluid ---------------------------------------------------------------- *)
+
+let run_fluid scenario n1 n2 c1 c2 =
+  let to_pps = F.Units.pps_of_mbps in
+  match scenario with
+  | "a" ->
+    let r =
+      F.Scenario_a.lia
+        { F.Scenario_a.n1; n2; c1 = to_pps c1; c2 = to_pps c2; rtt = 0.15 }
+    in
+    Printf.printf
+      "fluid A (LIA): type1 %.3f, type2 %.3f; p1 %.4f, p2 %.4f\n"
+      r.F.Scenario_a.norm_type1 r.F.Scenario_a.norm_type2 r.F.Scenario_a.p1
+      r.F.Scenario_a.p2
+  | "b" ->
+    let params =
+      { F.Scenario_b.n = n1; cx = to_pps c1; ct = to_pps c2; rtt = 0.15 }
+    in
+    let sp = F.Scenario_b.lia_red_singlepath params in
+    let mp = F.Scenario_b.lia_red_multipath params in
+    Printf.printf
+      "fluid B (LIA): single-path blue %.2f red %.2f; multipath blue %.2f \
+       red %.2f Mb/s per user\n"
+      (F.Units.mbps_of_pps sp.F.Scenario_b.blue_total)
+      (F.Units.mbps_of_pps sp.F.Scenario_b.red_total)
+      (F.Units.mbps_of_pps mp.F.Scenario_b.blue_total)
+      (F.Units.mbps_of_pps mp.F.Scenario_b.red_total)
+  | "c" ->
+    let r =
+      F.Scenario_c.lia
+        { F.Scenario_c.n1; n2; c1 = to_pps c1; c2 = to_pps c2; rtt = 0.15 }
+    in
+    Printf.printf
+      "fluid C (LIA): multipath %.3f, single %.3f; p1 %.4f, p2 %.4f\n"
+      r.F.Scenario_c.norm_multipath r.F.Scenario_c.norm_single
+      r.F.Scenario_c.p1 r.F.Scenario_c.p2
+  | s -> Printf.eprintf "unknown fluid scenario %s (a, b or c)\n" s
+
+let fluid_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"a, b or c.")
+  in
+  let doc = "Analytical fixed points of the paper's scenarios." in
+  Cmd.v
+    (Cmd.info "fluid" ~doc)
+    Term.(const run_fluid $ scenario $ n1 $ n2 $ c1 $ c2)
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "reproduction of 'MPTCP is not Pareto-Optimal' (OLIA)" in
+  let info = Cmd.info "olia_sim" ~version:"1.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group info ~default
+          [
+            scenario_a_cmd; scenario_b_cmd; scenario_c_cmd; trace_cmd;
+            fattree_cmd; fattree_dynamic_cmd; responsiveness_cmd;
+            wireless_cmd; fluid_cmd;
+          ]))

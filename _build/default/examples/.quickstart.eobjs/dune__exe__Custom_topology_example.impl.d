@@ -1,0 +1,1 @@
+examples/custom_topology_example.ml: Array Filename List Monitor Mptcp_repro Printf Rng Sim Tcp

@@ -1,0 +1,1 @@
+examples/fluid_example.ml: Array Equilibrium List Mptcp_repro Network_model Olia_ode Printf Scenario_c Units

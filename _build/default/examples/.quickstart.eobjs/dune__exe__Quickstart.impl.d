@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mptcp_repro Pipe Printf Queue Rng Sim Tcp

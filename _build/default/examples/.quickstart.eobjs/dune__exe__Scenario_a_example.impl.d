@@ -1,0 +1,1 @@
+examples/scenario_a_example.ml: Mptcp_repro Printf

@@ -1,0 +1,1 @@
+examples/window_trace_example.ml: Array Mptcp_repro Printf Stdlib String

@@ -1,0 +1,54 @@
+(* Quickstart: one MPTCP connection over two bottleneck links, competing
+   with a regular TCP flow on the second link.
+
+   Build and run with:  dune exec examples/quickstart.exe *)
+
+open Mptcp_repro.Netsim
+
+let () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:1 in
+
+  (* Two 10 Mb/s bottlenecks with the paper's RED profile. *)
+  let bottleneck name =
+    Queue.create ~sim ~rng:(Rng.split rng) ~rate_bps:10e6 ~buffer_pkts:300
+      ~discipline:(Queue.Red (Queue.paper_red ~link_mbps:10.))
+      ~name ()
+  in
+  let link1 = bottleneck "link1" and link2 = bottleneck "link2" in
+
+  (* 40 ms of one-way propagation in each direction (80 ms RTT). *)
+  let fwd = Pipe.create ~sim ~delay:0.04 in
+  let rev = Pipe.create ~sim ~delay:0.04 in
+  let path_via q =
+    { Tcp.fwd = [| Queue.hop q; Pipe.hop fwd |]; rev = [| Pipe.hop rev |] }
+  in
+
+  (* An MPTCP connection running OLIA over both links... *)
+  let mptcp =
+    Tcp.create ~sim ~cc:(Mptcp_repro.Cc.Olia.create ())
+      ~paths:[| path_via link1; path_via link2 |]
+      ~flow_id:0 ()
+  in
+  (* ...and a regular TCP flow on link 2. *)
+  let tcp =
+    Tcp.create ~sim
+      ~cc:(Mptcp_repro.Cc.Reno.create ())
+      ~paths:[| path_via link2 |]
+      ~start:0.5 ~flow_id:1 ()
+  in
+
+  Sim.run_until sim 60.;
+
+  let mbps pkts = float_of_int (pkts * 1500 * 8) /. 60. /. 1e6 in
+  Printf.printf "MPTCP (OLIA) over link1: %5.2f Mb/s\n"
+    (mbps (Tcp.subflow_acked mptcp 0));
+  Printf.printf "MPTCP (OLIA) over link2: %5.2f Mb/s\n"
+    (mbps (Tcp.subflow_acked mptcp 1));
+  Printf.printf "TCP          over link2: %5.2f Mb/s\n"
+    (mbps (Tcp.total_acked tcp));
+  Printf.printf "loss at link1: %.4f   loss at link2: %.4f\n"
+    (Queue.loss_probability link1)
+    (Queue.loss_probability link2);
+  print_endline
+    "OLIA concentrates on the uncontested link and leaves link2 to TCP."

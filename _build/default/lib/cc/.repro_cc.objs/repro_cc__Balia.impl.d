@@ -1,0 +1,1 @@
+lib/cc/balia.ml: Array Cc_types Stdlib

@@ -1,0 +1,1 @@
+lib/cc/balia.mli: Cc_types

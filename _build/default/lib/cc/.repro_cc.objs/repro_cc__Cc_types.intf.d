@@ -1,0 +1,1 @@
+lib/cc/cc_types.mli:

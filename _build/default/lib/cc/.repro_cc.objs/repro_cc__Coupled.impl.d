@@ -1,0 +1,1 @@
+lib/cc/coupled.ml: Array Cc_types Printf Stdlib

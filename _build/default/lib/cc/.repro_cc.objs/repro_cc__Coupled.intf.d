@@ -1,0 +1,1 @@
+lib/cc/coupled.mli: Cc_types

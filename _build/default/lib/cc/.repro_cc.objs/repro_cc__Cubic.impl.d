@@ -1,0 +1,1 @@
+lib/cc/cubic.ml: Array Cc_types Stdlib

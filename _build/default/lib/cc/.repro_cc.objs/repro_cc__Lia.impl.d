@@ -1,0 +1,1 @@
+lib/cc/lia.ml: Array Cc_types Stdlib

@@ -1,0 +1,1 @@
+lib/cc/lia.mli: Cc_types

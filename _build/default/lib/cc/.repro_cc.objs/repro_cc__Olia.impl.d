@@ -1,0 +1,1 @@
+lib/cc/olia.ml: Array Cc_types Stdlib

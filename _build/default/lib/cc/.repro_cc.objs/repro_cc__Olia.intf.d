@@ -1,0 +1,1 @@
+lib/cc/olia.mli: Cc_types

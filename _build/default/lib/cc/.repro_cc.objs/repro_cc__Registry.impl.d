@@ -1,0 +1,1 @@
+lib/cc/registry.ml: Balia Coupled Cubic Lia Olia Reno Scalable String Wvegas

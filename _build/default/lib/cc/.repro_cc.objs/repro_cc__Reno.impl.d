@@ -1,0 +1,1 @@
+lib/cc/reno.ml: Array Cc_types Stdlib

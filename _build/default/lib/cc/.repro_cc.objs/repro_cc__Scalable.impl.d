@@ -1,0 +1,1 @@
+lib/cc/scalable.ml: Array Cc_types

@@ -1,0 +1,1 @@
+lib/cc/scalable.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/cc/wvegas.ml: Array Cc_types Stdlib

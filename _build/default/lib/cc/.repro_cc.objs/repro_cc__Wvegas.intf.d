@@ -1,0 +1,1 @@
+lib/cc/wvegas.mli: Cc_types

@@ -1,0 +1,10 @@
+(** BALIA, the balanced linked-adaptation algorithm (Peng, Walid, Hwang,
+    Low, 2014) — implemented as an extension: the successor to OLIA that
+    the paper's future-work discussion anticipates.
+
+    With [x_r = w_r/rtt_r] and [α_r = max_k x_k / x_r], each ACK on path
+    [r] grows the window by
+    [x_r/rtt_r / (Σ_k x_k)² · (1+α_r)/2 · (4+α_r)/5]
+    and each loss shrinks it by [w_r/2 · min(α_r, 1.5)]. *)
+
+val create : unit -> Cc_types.t

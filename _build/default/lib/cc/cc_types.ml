@@ -1,0 +1,12 @@
+type subflow_view = { cwnd : float; rtt : float }
+
+type t = {
+  name : string;
+  multipath_initial_ssthresh : float option;
+  on_ack : idx:int -> acked:float -> unit;
+  on_loss : idx:int -> unit;
+  increase : views:subflow_view array -> idx:int -> float;
+  loss_decrease : views:subflow_view array -> idx:int -> float;
+}
+
+let halve ~views ~idx = views.(idx).cwnd /. 2.

@@ -1,0 +1,40 @@
+(** Common interface of coupled congestion-control algorithms.
+
+    A multipath connection owns a number of subflows; the transport layer
+    reports per-ACK and per-loss events and asks the algorithm for the
+    congestion-avoidance window increase. Windows are measured in packets
+    (MSS units) and may be fractional. *)
+
+type subflow_view = {
+  cwnd : float;  (** congestion window, packets *)
+  rtt : float;  (** smoothed round-trip time, seconds *)
+}
+(** What an algorithm may observe about each subflow (exactly the
+    information available to a regular TCP sender, as the paper
+    requires). *)
+
+type t = {
+  name : string;
+  multipath_initial_ssthresh : float option;
+      (** [Some s]: when the connection has several subflows, slow-start
+          threshold is forced to [s] packets (OLIA's Linux implementation
+          uses 1 MSS, §IV-B); [None] keeps regular TCP slow start. *)
+  on_ack : idx:int -> acked:float -> unit;
+      (** bookkeeping for [acked] newly-acknowledged packets on subflow
+          [idx] (OLIA's inter-loss counters ℓ₁/ℓ₂). *)
+  on_loss : idx:int -> unit;
+      (** bookkeeping for a loss event on subflow [idx]. *)
+  increase : views:subflow_view array -> idx:int -> float;
+      (** congestion-avoidance window increase per ACK on subflow [idx],
+          in packets; may be negative (OLIA shifts traffic away from
+          maximal-window paths). *)
+  loss_decrease : views:subflow_view array -> idx:int -> float;
+      (** window decrement to apply on a loss event (TCP halves:
+          [cwnd/2]). *)
+}
+(** A packed algorithm instance. Instances are stateful and must not be
+    shared between connections. *)
+
+val halve : views:subflow_view array -> idx:int -> float
+(** The unmodified TCP decrease [cwnd/2] (paper §IV: OLIA and LIA use
+    unmodified TCP behavior on loss). *)

@@ -1,0 +1,15 @@
+(** The ε-parameterized coupled family of §II: at equilibrium the rate on
+    path [r] is proportional to [p_r^(-1/ε)].
+
+    Per ACK on subflow [r] the window grows by
+    [w_r^(1-ε) / (Σ_i w_i)^(2-ε)]:
+    - [ε = 0] is the fully-coupled algorithm of Kelly–Voice (Pareto
+      optimal but flappy),
+    - [ε = 1] is the "semicoupled" compromise LIA approximates,
+    - [ε = 2] is uncoupled TCP per subflow.
+
+    Used by the ablation bench that sweeps the resource-pooling /
+    responsiveness tradeoff the paper describes. *)
+
+val create : epsilon:float -> Cc_types.t
+(** Raises [Invalid_argument] unless [0 ≤ epsilon ≤ 2]. *)

@@ -1,0 +1,13 @@
+(** CUBIC (Ha, Rhee, Xu, 2008) — the other RTT-fairness escape hatch the
+    paper's Remark 3 mentions.
+
+    The window follows [W(t) = C·(t − K)³ + W_max] after a loss, where
+    [W_max] is the window at the loss, [K = (W_max·β/C)^(1/3)], [C = 0.4]
+    and the multiplicative decrease is [β = 0.3].
+
+    Time is tracked virtually: every ACK advances the epoch clock by
+    [rtt/cwnd] (one window of ACKs per RTT), which makes the module
+    usable behind the clock-free [Cc_types] interface. *)
+
+val create : ?c:float -> ?beta:float -> unit -> Cc_types.t
+(** Raises [Invalid_argument] unless [c > 0] and [0 < beta < 1]. *)

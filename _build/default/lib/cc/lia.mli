@@ -1,0 +1,11 @@
+(** LIA, the "linked increases" algorithm of RFC 6356 (paper Eq. 1).
+
+    For each ACK on subflow [r], the window grows by
+    [min( (max_i w_i/rtt_i²) / (Σ_i w_i/rtt_i)², 1/w_r )] and losses halve
+    the window as in TCP. *)
+
+val create : unit -> Cc_types.t
+
+val increase_formula : Cc_types.subflow_view array -> int -> float
+(** The bare Eq. 1 increase, exposed for unit tests and the fixed-point
+    cross-checks. *)

@@ -1,0 +1,104 @@
+(* Dynamic per-subflow counters; grown on first use so connections can add
+   subflows after creation. *)
+type state = {
+  mutable ell1 : float array;
+  mutable ell2 : float array;
+  mutable n : int;
+}
+
+let ensure st idx =
+  if idx >= Array.length st.ell1 then begin
+    let cap = Stdlib.max (2 * (idx + 1)) 4 in
+    let grow a = Array.init cap (fun i -> if i < Array.length a then a.(i) else 0.) in
+    st.ell1 <- grow st.ell1;
+    st.ell2 <- grow st.ell2
+  end;
+  if idx >= st.n then st.n <- idx + 1
+
+let ell st idx = Stdlib.max st.ell1.(idx) st.ell2.(idx)
+
+let max_set scores =
+  let best = Array.fold_left Stdlib.max neg_infinity scores in
+  Array.map (fun s -> best > 0. && s >= best *. (1. -. 1e-9)) scores
+
+let alpha_values ~ell (views : Cc_types.subflow_view array) =
+  let nr = Array.length views in
+  let windows = Array.map (fun (v : Cc_types.subflow_view) -> v.cwnd) views in
+  let quality =
+    Array.mapi (fun r (v : Cc_types.subflow_view) ->
+        ell.(r) /. (Stdlib.max v.rtt 1e-9 ** 2.)) views
+  in
+  let in_m = max_set windows and in_b = max_set quality in
+  let b_minus_m = Array.init nr (fun r -> in_b.(r) && not in_m.(r)) in
+  let count m = Array.fold_left (fun a b -> if b then a + 1 else a) 0 m in
+  let n_bm = count b_minus_m and n_m = count in_m in
+  let inv_ru = 1. /. float_of_int nr in
+  Array.init nr (fun r ->
+      if n_bm = 0 then 0.
+      else if b_minus_m.(r) then inv_ru /. float_of_int n_bm
+      else if in_m.(r) then -.inv_ru /. float_of_int n_m
+      else 0.)
+
+let kelly_voice_term (views : Cc_types.subflow_view array) idx =
+  let denom = ref 0. in
+  Array.iter
+    (fun (v : Cc_types.subflow_view) ->
+      denom := !denom +. (v.cwnd /. Stdlib.max v.rtt 1e-9))
+    views;
+  let v = views.(idx) in
+  let rtt = Stdlib.max v.rtt 1e-9 in
+  v.cwnd /. (rtt *. rtt) /. Stdlib.max (!denom *. !denom) 1e-18
+
+let make () =
+  let st = { ell1 = Array.make 4 0.; ell2 = Array.make 4 0.; n = 0 } in
+  let last_views = ref [||] in
+  let increase ~views ~idx =
+    ensure st idx;
+    last_views := views;
+    if Array.length views = 1 then
+      (* Single path: OLIA degrades to regular TCP (Eq. 5 with one term
+         equals 1/w and alpha = 0). *)
+      1. /. Stdlib.max views.(0).Cc_types.cwnd 1e-9
+    else begin
+      let ell = Array.init (Array.length views) (fun r -> ensure st r; ell st r) in
+      let alpha = alpha_values ~ell views in
+      kelly_voice_term views idx
+      +. (alpha.(idx) /. Stdlib.max views.(idx).Cc_types.cwnd 1e-9)
+    end
+  in
+  let on_ack ~idx ~acked =
+    ensure st idx;
+    st.ell2.(idx) <- st.ell2.(idx) +. acked
+  in
+  let on_loss ~idx =
+    ensure st idx;
+    st.ell1.(idx) <- st.ell2.(idx);
+    st.ell2.(idx) <- 0.
+  in
+  let probe n =
+    let ell = Array.init n (fun r -> ensure st r; ell st r) in
+    let alpha =
+      if Array.length !last_views = n then alpha_values ~ell !last_views
+      else Array.make n 0.
+    in
+    (ell, alpha)
+  in
+  let cc =
+    {
+      Cc_types.name = "olia";
+      multipath_initial_ssthresh = Some 1.;
+      on_ack;
+      on_loss;
+      increase;
+      loss_decrease = Cc_types.halve;
+    }
+  in
+  (cc, probe)
+
+let create () = fst (make ())
+
+type probe = { ell : float array; alpha : float array }
+
+let create_instrumented () =
+  let cc, probe = make () in
+  (cc, fun n -> let ell, alpha = probe n in { ell; alpha })

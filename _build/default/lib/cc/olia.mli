@@ -1,0 +1,36 @@
+(** OLIA, the opportunistic linked-increases algorithm (paper §IV).
+
+    For each ACK on path [r] the window grows by
+
+    {v  w_r/rtt_r²
+       ───────────────  +  α_r / w_r        (Eq. 5)
+       (Σ_p w_p/rtt_p)²                     v}
+
+    where [α_r] (Eq. 6) redistributes increase from maximal-window paths
+    [M] towards presumably-best paths [B\M], ranked by the inter-loss
+    transmitted volume [ℓ_r = max(ℓ1_r, ℓ2_r)]:
+
+    - [ℓ2_r] counts packets acknowledged since the last loss on [r];
+    - on a loss, [ℓ1_r ← ℓ2_r] and [ℓ2_r ← 0] (§IV-B).
+
+    Losses halve the window as in TCP. The Linux implementation forces
+    the slow-start threshold to 1 MSS when several paths are established,
+    which [create] reports through [multipath_initial_ssthresh]. *)
+
+val create : unit -> Cc_types.t
+
+type probe = {
+  ell : float array;  (** ℓ_r = max(ℓ1, ℓ2), packets *)
+  alpha : float array;  (** current α_r of Eq. 6 *)
+}
+
+val create_instrumented : unit -> Cc_types.t * (int -> probe)
+(** Like [create], but also returns a probe function: [probe n] reports
+    ℓ and the α values that Eq. 6 assigns for the last observed views of
+    [n] subflows — used for the Fig. 7/8 α traces. *)
+
+val alpha_values :
+  ell:float array -> Cc_types.subflow_view array -> float array
+(** The bare Eq. 6: [α_r] for given inter-loss volumes and views. Path
+    set [B] maximises [ℓ_p/rtt_p²], [M] maximises [w_p]; ties within
+    1e-9 relative tolerance are grouped. *)

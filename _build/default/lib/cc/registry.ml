@@ -1,0 +1,19 @@
+let names =
+  [ "reno"; "lia"; "olia"; "balia"; "cubic"; "scalable"; "wvegas";
+    "coupled:<eps>" ]
+
+let create name =
+  match name with
+  | "reno" -> Reno.create ()
+  | "lia" -> Lia.create ()
+  | "olia" -> Olia.create ()
+  | "balia" -> Balia.create ()
+  | "cubic" -> Cubic.create ()
+  | "scalable" -> Scalable.create ()
+  | "wvegas" -> Wvegas.create ()
+  | s when String.length s > 8 && String.sub s 0 8 = "coupled:" -> (
+      let arg = String.sub s 8 (String.length s - 8) in
+      match float_of_string_opt arg with
+      | Some epsilon -> Coupled.create ~epsilon
+      | None -> invalid_arg ("Registry.create: bad epsilon in " ^ s))
+  | s -> invalid_arg ("Registry.create: unknown algorithm " ^ s)

@@ -1,0 +1,10 @@
+(** Name-based construction of congestion-control algorithms, for the CLI
+    and the bench harness. *)
+
+val names : string list
+(** All recognised names: ["reno"; "lia"; "olia"; "balia"; "cubic";
+    "scalable"; "wvegas"; "coupled:<eps>"]. *)
+
+val create : string -> Cc_types.t
+(** Fresh instance by name; ["coupled:0.5"] selects the ε-family.
+    Raises [Invalid_argument] on unknown names. *)

@@ -1,0 +1,5 @@
+(** Regular TCP congestion avoidance (RFC 5681): each subflow grows by
+    [1/cwnd] per ACK, independently of the others. Used for single-path
+    users and as the ε=2 "uncoupled" end of the design spectrum. *)
+
+val create : unit -> Cc_types.t

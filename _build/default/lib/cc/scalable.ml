@@ -1,0 +1,12 @@
+let create ?(a = 0.01) ?(b = 0.125) () =
+  if a <= 0. then invalid_arg "Scalable.create: a must be > 0";
+  if b <= 0. || b >= 1. then invalid_arg "Scalable.create: b must be in (0,1)";
+  {
+    Cc_types.name = "scalable";
+    multipath_initial_ssthresh = None;
+    on_ack = (fun ~idx:_ ~acked:_ -> ());
+    on_loss = (fun ~idx:_ -> ());
+    increase = (fun ~views:_ ~idx:_ -> a);
+    loss_decrease =
+      (fun ~views ~idx -> b *. views.(idx).Cc_types.cwnd);
+  }

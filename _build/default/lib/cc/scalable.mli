@@ -1,0 +1,10 @@
+(** Scalable TCP (Tom Kelly, 2003) — the paper's Remark 3 names STCP as a
+    congestion control whose rate does not depend on the RTT, which is
+    what full Pareto-optimality would require.
+
+    MIMD rule: each ACK grows the window by a constant [a] (default 0.01
+    packets, i.e. ~1% per RTT) and each loss shrinks it by [b·cwnd]
+    (default b = 0.125). *)
+
+val create : ?a:float -> ?b:float -> unit -> Cc_types.t
+(** Raises [Invalid_argument] unless [a > 0] and [0 < b < 1]. *)

@@ -1,0 +1,14 @@
+(** wVegas (weighted Vegas; Cao, Xu, Fu 2012) — the delay-based coupled
+    congestion control that ships alongside LIA/OLIA/BALIA in the Linux
+    MPTCP stack; implemented here as a further extension point.
+
+    Each subflow keeps its minimum observed RTT as [base_rtt] and
+    estimates its backlog [diff = w·(1 − base_rtt/rtt)] in packets. The
+    connection distributes a total backlog target of [total_alpha]
+    packets across subflows in proportion to their rates; subflow windows
+    grow by [1/w] per ACK while below their share and shrink by [1/w]
+    while above it. Losses halve the window as usual. *)
+
+val create : ?total_alpha:float -> unit -> Cc_types.t
+(** [total_alpha] defaults to 10 packets. Raises [Invalid_argument] if
+    non-positive. *)

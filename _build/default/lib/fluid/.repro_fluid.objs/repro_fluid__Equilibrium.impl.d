@@ -1,0 +1,1 @@
+lib/fluid/equilibrium.ml: Array Int64 List Network_model Stdlib Tcp_model

@@ -1,0 +1,1 @@
+lib/fluid/equilibrium.mli: Network_model

@@ -1,0 +1,1 @@
+lib/fluid/lia_ode.ml: Array Network_model Stdlib Tcp_model

@@ -1,0 +1,1 @@
+lib/fluid/lia_ode.mli: Network_model

@@ -1,0 +1,1 @@
+lib/fluid/network_model.ml: Array Stdlib

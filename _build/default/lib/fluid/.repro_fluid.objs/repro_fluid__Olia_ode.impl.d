@@ -1,0 +1,1 @@
+lib/fluid/olia_ode.ml: Array List Network_model Stdlib

@@ -1,0 +1,1 @@
+lib/fluid/olia_ode.mli: Network_model

@@ -1,0 +1,1 @@
+lib/fluid/scenario_b.ml: Roots Scenario_c Stdlib Units

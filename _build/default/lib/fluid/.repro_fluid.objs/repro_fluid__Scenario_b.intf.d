@@ -1,0 +1,1 @@
+lib/fluid/scenario_b.mli:

@@ -1,0 +1,1 @@
+lib/fluid/tcp_model.mli:

@@ -1,0 +1,1 @@
+lib/fluid/units.mli:

@@ -1,0 +1,42 @@
+(** General-network equilibrium solver: computes the fixed-point rate
+    allocation of TCP (uncoupled), LIA or OLIA on an arbitrary
+    [Network_model.t] by damped fixed-point iteration on the
+    loss–throughput formulas. This generalizes the closed-form Scenario
+    A/B/C analyses and lets tests cross-validate them. *)
+
+type algorithm =
+  | Uncoupled  (** independent TCP on every route (the ε=2 end point) *)
+  | Lia  (** paper Eq. 2 *)
+  | Olia  (** paper Theorem 1: best paths only *)
+  | Olia_probing  (** Theorem 1 plus one MSS/RTT on non-best paths *)
+
+type options = {
+  damping : float;  (** step of the damped iteration, default 0.05 *)
+  max_iter : int;  (** default 50_000 *)
+  tol : float;  (** relative change threshold, default 1e-9 *)
+  min_loss : float;  (** floor on route loss, default 1e-10 *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options -> Network_model.t -> algorithm -> float array array
+(** [solve net algo] returns per-user per-route equilibrium rates.
+    Raises [Failure] if the iteration does not converge. *)
+
+val user_utilities : Network_model.t -> float array array -> float array
+(** Per-user values of [Σ_r x_r / rtt_r²], the quantity Theorem 3 shows
+    cannot be improved for one user without hurting another. *)
+
+val pareto_witness :
+  ?trials:int ->
+  ?step:float ->
+  seed:int ->
+  Network_model.t ->
+  float array array ->
+  float array array option
+(** Random-search check of Theorem 3: attempts [trials] random feasible
+    perturbations of the allocation and returns one that Pareto-dominates
+    it (all user utilities no worse, one strictly better, congestion cost
+    not increased), or [None] if none is found. A correct OLIA fixed point
+    should always yield [None]. *)

@@ -1,0 +1,70 @@
+type options = { dt : float; t_end : float; min_rate : float }
+
+let default_options = { dt = 1e-3; t_end = 400.; min_rate = 1e-3 }
+
+let route_losses net x =
+  let loads = Network_model.link_loads net x in
+  let link_p =
+    Array.mapi (fun i l -> Network_model.link_loss l loads.(i))
+      net.Network_model.links
+  in
+  Network_model.route_losses net link_p
+
+(* Eq. 1 for the fluid state: windows are w_r = x_r·rtt_r. *)
+let increase_per_ack (user : Network_model.user) xu r =
+  let num = ref 0. and denom = ref 0. in
+  Array.iteri
+    (fun p (route : Network_model.route) ->
+      let w = Stdlib.max (xu.(p) *. route.rtt) 1e-9 in
+      let per_rtt2 = w /. (route.rtt *. route.rtt) in
+      if per_rtt2 > !num then num := per_rtt2;
+      denom := !denom +. (w /. route.rtt))
+    user.routes;
+  let coupled = !num /. Stdlib.max (!denom *. !denom) 1e-18 in
+  let own = 1. /. Stdlib.max (xu.(r) *. user.routes.(r).rtt) 1e-9 in
+  Stdlib.min coupled own
+
+let derivative net x =
+  let route_p = route_losses net x in
+  Array.mapi
+    (fun u (user : Network_model.user) ->
+      Array.mapi
+        (fun r (route : Network_model.route) ->
+          let xr = x.(u).(r) in
+          let i = increase_per_ack user x.(u) r in
+          let w = xr *. route.rtt in
+          (* ACK rate x_r; each loss (rate p·x_r) halves the window *)
+          xr /. route.rtt *. (i -. (route_p.(u).(r) *. w /. 2.)))
+        user.routes)
+    net.Network_model.users
+
+let integrate ?(options = default_options) net ~x0 =
+  Network_model.validate net;
+  let { dt; t_end; min_rate } = options in
+  let x = Array.map Array.copy x0 in
+  let steps = int_of_float (ceil (t_end /. dt)) in
+  for _ = 1 to steps do
+    let dx = derivative net x in
+    Array.iteri
+      (fun u xu ->
+        Array.iteri
+          (fun r xr -> xu.(r) <- Stdlib.max min_rate (xr +. (dt *. dx.(u).(r))))
+          (Array.copy xu))
+      x
+  done;
+  x
+
+let fixed_point_prediction net x =
+  let route_p = route_losses net x in
+  Array.mapi
+    (fun u (user : Network_model.user) ->
+      let paths =
+        Array.to_list
+          (Array.mapi
+             (fun r (route : Network_model.route) ->
+               { Tcp_model.loss = Stdlib.max route_p.(u).(r) 1e-12;
+                 rtt = route.rtt })
+             user.routes)
+      in
+      Array.of_list (Tcp_model.lia_rates paths))
+    net.Network_model.users

@@ -1,0 +1,35 @@
+(** Fluid model of LIA, the counterpart of [Olia_ode] for the default
+    MPTCP algorithm.
+
+    Each ACK on route [r] grows the window by Eq. 1,
+    [min(max_p(w_p/rtt_p²)/(Σ_p w_p/rtt_p)², 1/w_r)], and each loss halves
+    it, giving
+
+    [dx_r/dt = x_r·(i_r(x) − p_r·x_r·rtt_r/2)/rtt_r]
+
+    with [i_r] the per-ACK increase. Its fixed points follow the
+    loss-throughput formula Eq. 2 ([Tcp_model.lia_rates]), which tests
+    cross-check; unlike OLIA's, they are not Pareto-optimal. *)
+
+type options = {
+  dt : float;
+  t_end : float;
+  min_rate : float;
+}
+
+val default_options : options
+
+val derivative : Network_model.t -> float array array -> float array array
+(** Right-hand side of the LIA fluid equation. *)
+
+val integrate :
+  ?options:options ->
+  Network_model.t ->
+  x0:float array array ->
+  float array array
+(** Forward-Euler integration from [x0]; returns the final rates. *)
+
+val fixed_point_prediction : Network_model.t -> float array array -> float array array
+(** Eq. 2 evaluated at the loss probabilities induced by a rate
+    allocation: the windows LIA's fixed point assigns given those
+    losses. Used to verify that [integrate] lands on Eq. 2. *)

@@ -1,0 +1,113 @@
+type options = {
+  dt : float;
+  t_end : float;
+  min_rate : float;
+  set_tolerance : float;
+}
+
+let default_options =
+  { dt = 1e-3; t_end = 400.; min_rate = 1e-3; set_tolerance = 0.02 }
+
+type result = {
+  rates : float array array;
+  utility_trace : (float * float) array;
+  alpha_trace : (float * float array array) array;
+}
+
+(* Membership of route r in the "max" set of a score array, within a
+   relative tolerance. *)
+let member_mask ~tolerance scores =
+  let best = Array.fold_left Stdlib.max neg_infinity scores in
+  Array.map (fun s -> s >= best *. (1. -. tolerance) && best > 0.) scores
+
+let alphas ~tolerance (user : Network_model.user) ~x ~losses =
+  let nr = Array.length user.routes in
+  let windows =
+    Array.mapi (fun r (route : Network_model.route) -> x.(r) *. route.rtt)
+      user.routes
+  in
+  (* l_r ≈ 1/p_r, so l_r/rtt² ranks paths by (presumed) TCP rate². *)
+  let quality =
+    Array.mapi
+      (fun r (route : Network_model.route) ->
+        1. /. (Stdlib.max losses.(r) 1e-12 *. route.rtt *. route.rtt))
+      user.routes
+  in
+  let in_m = member_mask ~tolerance windows in
+  let in_b = member_mask ~tolerance quality in
+  let b_minus_m = Array.init nr (fun r -> in_b.(r) && not in_m.(r)) in
+  let count mask = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+  let n_bm = count b_minus_m and n_m = count in_m in
+  let inv_ru = 1. /. float_of_int nr in
+  Array.init nr (fun r ->
+      if n_bm = 0 then 0.
+      else if b_minus_m.(r) then inv_ru /. float_of_int n_bm
+      else if in_m.(r) then -.inv_ru /. float_of_int n_m
+      else 0.)
+
+let derivative ?(set_tolerance = default_options.set_tolerance) net x =
+  let loads = Network_model.link_loads net x in
+  let link_p =
+    Array.mapi (fun i l -> Network_model.link_loss l loads.(i))
+      net.Network_model.links
+  in
+  let route_p = Network_model.route_losses net link_p in
+  Array.mapi
+    (fun u (user : Network_model.user) ->
+      let total = Array.fold_left ( +. ) 0. x.(u) in
+      let total2 = Stdlib.max (total *. total) 1e-12 in
+      let alpha = alphas ~tolerance:set_tolerance user ~x:x.(u)
+          ~losses:route_p.(u) in
+      Array.mapi
+        (fun r (route : Network_model.route) ->
+          let xr = x.(u).(r) in
+          let rtt2 = route.rtt *. route.rtt in
+          (xr *. xr *. ((1. /. rtt2 /. total2) -. (route_p.(u).(r) /. 2.)))
+          +. (alpha.(r) /. rtt2))
+        user.routes)
+    net.Network_model.users
+
+let uniform_start net ~rate =
+  Array.map
+    (fun (u : Network_model.user) -> Array.map (fun _ -> rate) u.routes)
+    net.Network_model.users
+
+let integrate ?(options = default_options) net ~x0 =
+  Network_model.validate net;
+  let { dt; t_end; min_rate; set_tolerance } = options in
+  let x = Array.map Array.copy x0 in
+  let steps = int_of_float (ceil (t_end /. dt)) in
+  let sample_every = Stdlib.max 1 (steps / 400) in
+  let utility = ref [] and alpha_samples = ref [] in
+  for step = 0 to steps - 1 do
+    let t = float_of_int step *. dt in
+    let dx = derivative ~set_tolerance net x in
+    Array.iteri
+      (fun u xu ->
+        Array.iteri
+          (fun r xr ->
+            xu.(r) <- Stdlib.max min_rate (xr +. (dt *. dx.(u).(r))))
+          (Array.copy xu))
+      x;
+    if step mod sample_every = 0 then begin
+      utility := (t, Network_model.utility_v net x) :: !utility;
+      let loads = Network_model.link_loads net x in
+      let link_p =
+        Array.mapi (fun i l -> Network_model.link_loss l loads.(i))
+          net.Network_model.links
+      in
+      let route_p = Network_model.route_losses net link_p in
+      let a =
+        Array.mapi
+          (fun u user ->
+            alphas ~tolerance:set_tolerance user ~x:x.(u) ~losses:route_p.(u))
+          net.Network_model.users
+      in
+      alpha_samples := (t, a) :: !alpha_samples
+    end
+  done;
+  {
+    rates = x;
+    utility_trace = Array.of_list (List.rev !utility);
+    alpha_trace = Array.of_list (List.rev !alpha_samples);
+  }

@@ -1,0 +1,51 @@
+(** Fluid model of OLIA as a differential inclusion (paper Eq. 8, §V).
+
+    Integrates [dx_r/dt = x_r²(1/rtt_r²/(Σ_p x_p)² − p_r/2) + ᾱ_r/rtt_r²]
+    with the set-valued [ᾱ] of Eq. 9 resolved by tolerance-based
+    membership in the best-path set [B] and max-window set [M]. Used to
+    verify Theorems 1, 3 and 4 numerically. *)
+
+type options = {
+  dt : float;  (** Euler step, default 1e-3 *)
+  t_end : float;  (** default 400. *)
+  min_rate : float;  (** rate floor, emulating the 1-MSS window floor *)
+  set_tolerance : float;
+      (** relative tolerance for membership in [B] and [M], the numerical
+          stand-in for the convexification of Eq. 9 *)
+}
+
+val default_options : options
+
+type result = {
+  rates : float array array;  (** final per-user per-route rates *)
+  utility_trace : (float * float) array;
+      (** [(t, V(x(t)))] samples of the equal-RTT utility of §V-C *)
+  alpha_trace : (float * float array array) array;
+      (** sampled [ᾱ] values, for the Fig. 7/8-style fluid traces *)
+}
+
+val alphas :
+  tolerance:float -> Network_model.user -> x:float array -> losses:float array
+  -> float array
+(** The OLIA [α_r] of Eq. 6 for one user: [+ (1/|R|)/|B\M|] on presumably
+    best paths without maximal windows, [− (1/|R|)/|M|] on maximal-window
+    paths when such better paths exist, 0 otherwise. Windows are
+    [x_r·rtt_r] and path quality is ranked by [1/(p_r·rtt_r²)]. *)
+
+val derivative :
+  ?set_tolerance:float ->
+  Network_model.t ->
+  float array array ->
+  float array array
+(** The right-hand side of Eq. 8 at the given rate allocation. *)
+
+val integrate :
+  ?options:options ->
+  Network_model.t ->
+  x0:float array array ->
+  result
+(** Forward-Euler integration from [x0], flooring each rate at
+    [min_rate]. *)
+
+val uniform_start : Network_model.t -> rate:float -> float array array
+(** An allocation giving every route the same rate. *)

@@ -1,0 +1,35 @@
+(** Scalar root finding used by the fixed-point analyses. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [\[lo, hi\]], assuming
+    [f lo] and [f hi] have opposite signs (raises [Invalid_argument]
+    otherwise). [tol] bounds the interval width (default [1e-12]). *)
+
+val find_increasing_root :
+  ?tol:float -> f:(float -> float) -> unit -> float
+(** Root of a strictly increasing function on [(0, ∞)] with
+    [f 0+ < 0 < f ∞]: brackets automatically by doubling, then bisects.
+    Raises [Failure] if no sign change is found within a huge range. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** [newton ~f ~df x0]: Newton-Raphson iteration from [x0]; raises
+    [Failure] on non-convergence. *)
+
+val poly_eval : float array -> float -> float
+(** [poly_eval coeffs x] evaluates [coeffs.(0) + coeffs.(1)·x + …] by
+    Horner's rule. *)
+
+val poly_derivative : float array -> float array
+(** Coefficients of the derivative polynomial. *)
+
+val positive_poly_root : ?tol:float -> float array -> float
+(** The unique positive root of a polynomial that is negative at 0 and
+    eventually positive (the shape of all the paper's fixed-point
+    polynomials). Raises [Failure] if the shape assumption fails. *)

@@ -1,0 +1,131 @@
+type params = { n : int; cx : float; ct : float; rtt : float }
+type regime = X_more_congested | T_more_congested
+
+type lia_point = {
+  regime : regime;
+  px : float;
+  pt : float;
+  x1 : float;
+  x2 : float;
+  y1 : float;
+  y2 : float;
+  blue_total : float;
+  red_total : float;
+  aggregate : float;
+}
+
+let check { n; cx; ct; rtt } =
+  if n <= 0 then invalid_arg "Scenario_b: n must be > 0";
+  if cx <= 0. || ct <= 0. then invalid_arg "Scenario_b: capacities must be > 0";
+  if rtt <= 0. then invalid_arg "Scenario_b: rtt must be > 0"
+
+(* Regime pX >= pT, with s = pX/pT >= 1:
+   blue total B = red total = (1/rtt)·sqrt(2/pT) and
+   ct/cx = (2s+1)(s+2)/(2s+3), increasing in s, equal to 9/5 at s = 1. *)
+let solve_x_congested ~rho =
+  let f s = ((2. *. s) +. 1.) *. (s +. 2.) /. ((2. *. s) +. 3.) -. rho in
+  Roots.bisect ~f 1. 1e9
+
+(* Regime pT >= pX, with z = sqrt(pT/pX) >= 1:
+   ct/cx = (1/(z²+1) + 1/z) / (z²/(z²+1) + z/(2z²+1)), decreasing in z,
+   equal to 9/5 at z = 1. *)
+let rho_t_congested z =
+  let z2 = z *. z in
+  let num = (1. /. (z2 +. 1.)) +. (1. /. z) in
+  let den = (z2 /. (z2 +. 1.)) +. (z /. ((2. *. z2) +. 1.)) in
+  num /. den
+
+let solve_t_congested ~rho =
+  let f z = rho -. rho_t_congested z in
+  Roots.bisect ~f 1. 1e9
+
+let lia_red_multipath ({ n; cx; ct; rtt } as params) =
+  check params;
+  let nf = float_of_int n in
+  let rho = ct /. cx in
+  if rho >= 9. /. 5. then begin
+    let s = solve_x_congested ~rho in
+    (* cx/n = B·(1/(1+s) + 1/(2+s)) determines the blue total B. *)
+    let b = cx /. nf /. ((1. /. (1. +. s)) +. (1. /. (2. +. s))) in
+    let pt = 2. /. ((rtt *. b) ** 2.) in
+    let px = s *. pt in
+    let x1 = b /. (1. +. s) in
+    let x2 = b -. x1 in
+    let y1 = b /. (2. +. s) in
+    let y2 = b -. y1 in
+    {
+      regime = X_more_congested;
+      px;
+      pt;
+      x1;
+      x2;
+      y1;
+      y2;
+      blue_total = b;
+      red_total = b;
+      aggregate = nf *. (b +. b);
+    }
+  end
+  else begin
+    let z = solve_t_congested ~rho in
+    let z2 = z *. z in
+    (* cx/n = B·(z²/(z²+1) + z/(2z²+1)) with B the blue total. *)
+    let b = cx /. nf /. ((z2 /. (z2 +. 1.)) +. (z /. ((2. *. z2) +. 1.))) in
+    let px = 2. /. ((rtt *. b) ** 2.) in
+    let pt = z2 *. px in
+    let x1 = b *. z2 /. (z2 +. 1.) in
+    let x2 = b -. x1 in
+    let red = b /. z in
+    let y1 = b *. z /. ((2. *. z2) +. 1.) in
+    let y2 = red -. y1 in
+    {
+      regime = T_more_congested;
+      px;
+      pt;
+      x1;
+      x2;
+      y1;
+      y2;
+      blue_total = b;
+      red_total = red;
+      aggregate = nf *. (b +. red);
+    }
+  end
+
+type allocation = { blue_total : float; red_total : float; aggregate : float }
+
+let lia_red_singlepath ({ n; cx; ct; rtt } as params) =
+  check params;
+  let nf = float_of_int n in
+  let c_params =
+    { Scenario_c.n1 = n; n2 = n; c1 = cx /. nf; c2 = ct /. nf; rtt }
+  in
+  let pt = Scenario_c.lia c_params in
+  let blue = pt.Scenario_c.x1 +. pt.Scenario_c.x2 in
+  let red = pt.Scenario_c.y in
+  { blue_total = blue; red_total = red; aggregate = nf *. (blue +. red) }
+
+let optimum_red_singlepath ({ n; cx; ct; rtt } as params) =
+  check params;
+  let nf = float_of_int n in
+  let probe = Units.probe_rate ~rtt in
+  let fair = (cx +. ct) /. (2. *. nf) in
+  let blue = Stdlib.max ((cx /. nf) +. probe) fair in
+  let red = Stdlib.min ((ct /. nf) -. probe) fair in
+  { blue_total = blue; red_total = red; aggregate = nf *. (blue +. red) }
+
+let optimum_red_multipath ({ n; cx; ct; rtt } as params) =
+  check params;
+  let nf = float_of_int n in
+  let probe = Units.probe_rate ~rtt in
+  let fair = ((cx +. ct) /. (2. *. nf)) -. (probe /. 2.) in
+  let blue = Stdlib.max (cx /. nf) fair in
+  let red = Stdlib.min ((ct /. nf) -. probe) fair in
+  { blue_total = blue; red_total = red; aggregate = nf *. (blue +. red) }
+
+let x_congested_quadratic ~rho =
+  [| 2. -. (3. *. rho); 5. -. (2. *. rho); 2. |]
+
+let normalized { n; ct; _ } alloc =
+  let per_user_ct = ct /. float_of_int n in
+  (alloc.blue_total /. per_user_ct, alloc.red_total /. per_user_ct)

@@ -1,0 +1,58 @@
+(** Fixed-point analysis of Scenario B (paper §III-B, Appendix B, Fig. 4,
+    Tables I–II, Fig. 17).
+
+    [n] Blue users (multihomed via ISPs X and Y) and [n] Red users
+    (initially connected only through Y, optionally upgrading to MPTCP via
+    X). Only links X and T are bottlenecks, with total capacities [cx] and
+    [ct] in packets per second. All paths share round-trip time [rtt]. *)
+
+type params = { n : int; cx : float; ct : float; rtt : float }
+
+type regime =
+  | X_more_congested  (** [pX ≥ pT]; holds when [cx/ct ≤ 5/9] *)
+  | T_more_congested  (** [pT ≥ pX] *)
+
+type lia_point = {
+  regime : regime;
+  px : float;  (** loss probability at ISP X *)
+  pt : float;  (** loss probability at ISP T *)
+  x1 : float;  (** per-user Blue rate via X *)
+  x2 : float;  (** per-user Blue rate via T *)
+  y1 : float;  (** per-user Red rate via X (the upgraded subflow) *)
+  y2 : float;  (** per-user Red rate via Y *)
+  blue_total : float;
+  red_total : float;
+  aggregate : float;  (** n·(blue_total + red_total) *)
+}
+
+val lia_red_multipath : params -> lia_point
+(** Fixed point of LIA when Red users have upgraded to MPTCP: solves the
+    capacity system [cx = n(x1+y1)], [ct = n(x2+y1+y2)] with the LIA
+    loss-throughput formulas of §III-B (quadratic regime for
+    [cx/ct < 5/9], otherwise the quintic regime, both reduced to a
+    monotone scalar equation in the loss-probability ratio). *)
+
+type allocation = { blue_total : float; red_total : float; aggregate : float }
+
+val lia_red_singlepath : params -> allocation
+(** Baseline where Red users use regular TCP through Y only: as the paper
+    notes, this reduces to Scenario C with [c1 = cx/n], [c2 = ct/n] and
+    [n1 = n2 = n]. *)
+
+val optimum_red_singlepath : params -> allocation
+(** Optimum with probing cost, Red single-path (Appendix B Eqs. 11–12). *)
+
+val optimum_red_multipath : params -> allocation
+(** Optimum with probing cost after Red upgrade (Appendix B Eqs. 13–14):
+    strictly smaller than [optimum_red_singlepath] by the probing
+    overhead [n/rtt]. *)
+
+val normalized : params -> allocation -> float * float
+(** [(blue, red)] rates normalized by [ct/n], the y-axis of Fig. 4. *)
+
+val x_congested_quadratic : rho:float -> float array
+(** Coefficients (constant first) of the Appendix-B quadratic
+    [2s² + (5 − 2ρ)s + (2 − 3ρ)] whose root > 1 is the loss ratio
+    [s = pX/pT] in the X-more-congested regime, with [ρ = ct/cx ≥ 9/5].
+    Exposed so tests can cross-check the numeric solver against the
+    paper's closed form. *)

@@ -1,0 +1,51 @@
+type path = { loss : float; rtt : float }
+
+let tcp_rate { loss; rtt } =
+  if loss <= 0. then infinity else sqrt (2. /. loss) /. rtt
+
+let tcp_loss_for_rate ~rtt rate =
+  if rate <= 0. then 1. else 2. /. ((rtt *. rate) ** 2.)
+
+let best_path_rate = function
+  | [] -> invalid_arg "Tcp_model.best_path_rate: no paths"
+  | paths -> List.fold_left (fun acc p -> Stdlib.max acc (tcp_rate p)) 0. paths
+
+(* Eq. 2: w_r = (1/p_r) · best / Σ_p 1/(rtt_p·p_p); x_r = w_r / rtt_r. *)
+let lia_rates paths =
+  match paths with
+  | [] -> invalid_arg "Tcp_model.lia_rates: no paths"
+  | _ ->
+    let best = best_path_rate paths in
+    let denom =
+      List.fold_left (fun acc p -> acc +. (1. /. (p.rtt *. p.loss))) 0. paths
+    in
+    List.map (fun p -> best /. (p.rtt *. p.loss) /. denom) paths
+
+let olia_rates paths =
+  match paths with
+  | [] -> invalid_arg "Tcp_model.olia_rates: no paths"
+  | _ ->
+    let best = best_path_rate paths in
+    let eps = 1e-9 *. best in
+    let is_best p = tcp_rate p >= best -. eps in
+    let nbest = List.length (List.filter is_best paths) in
+    List.map
+      (fun p -> if is_best p then best /. float_of_int nbest else 0.)
+      paths
+
+let olia_rates_with_probing paths =
+  match paths with
+  | [] -> invalid_arg "Tcp_model.olia_rates_with_probing: no paths"
+  | _ ->
+    let rates = olia_rates paths in
+    let probing =
+      List.map2
+        (fun p r -> if r = 0. then Units.probe_rate ~rtt:p.rtt else 0.)
+        paths rates
+    in
+    let overhead = List.fold_left ( +. ) 0. probing in
+    let active = List.length (List.filter (fun r -> r > 0.) rates) in
+    let cut = overhead /. float_of_int (Stdlib.max active 1) in
+    List.map2
+      (fun r probe -> if r > 0. then Stdlib.max 0. (r -. cut) else probe)
+      rates probing

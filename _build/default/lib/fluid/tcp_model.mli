@@ -1,0 +1,37 @@
+(** Loss–throughput formulas for regular TCP, LIA and OLIA (paper §II and
+    Eq. 2, Theorem 1).
+
+    All rates are in packets per second ([Units]). Paths are described by
+    their end-to-end loss probability and round-trip time. *)
+
+type path = { loss : float; rtt : float }
+(** One path available to a user: end-to-end loss probability [loss] and
+    round-trip time [rtt] (seconds). *)
+
+val tcp_rate : path -> float
+(** The TCP loss-throughput formula [1/rtt · sqrt(2/p)] (paper Eq. (c) of
+    §III-A, after Misra et al.). *)
+
+val tcp_loss_for_rate : rtt:float -> float -> float
+(** Inverse of [tcp_rate]: the loss probability at which a TCP user with
+    this RTT sends at the given rate: [p = 2 / (rtt·rate)²]. *)
+
+val best_path_rate : path list -> float
+(** [max_r tcp_rate r] — the rate goal 1 of the RFC grants a multipath
+    user. Raises [Invalid_argument] on an empty list. *)
+
+val lia_rates : path list -> float list
+(** LIA's fixed point (paper Eq. 2): per-path rates such that windows are
+    proportional to [1/loss] and the total equals [best_path_rate] when
+    RTTs are equal. With heterogeneous RTTs this implements Eq. 2
+    verbatim: [w_r ∝ 1/p_r], total rate = best-path TCP rate. *)
+
+val olia_rates : path list -> float list
+(** OLIA's fixed point (Theorem 1): all traffic on the best path(s) —
+    paths maximising [tcp_rate] — totalling [best_path_rate]; ties are
+    split evenly. *)
+
+val olia_rates_with_probing : path list -> float list
+(** OLIA as deployed: best paths as [olia_rates], but every non-best path
+    still carries the minimum probing traffic of one MSS per RTT (paper
+    §VI-A2), subtracted from the best-path share. *)

@@ -1,0 +1,5 @@
+let mss_bytes = 1500
+let mss_bits = float_of_int (8 * mss_bytes)
+let pps_of_mbps m = m *. 1e6 /. mss_bits
+let mbps_of_pps p = p *. mss_bits /. 1e6
+let probe_rate ~rtt = 1. /. rtt

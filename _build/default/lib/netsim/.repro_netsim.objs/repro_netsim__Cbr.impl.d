@@ -1,0 +1,1 @@
+lib/netsim/cbr.ml: Packet Sim

@@ -1,0 +1,1 @@
+lib/netsim/lossy.ml: Packet Rng

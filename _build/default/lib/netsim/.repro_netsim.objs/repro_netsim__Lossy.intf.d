@@ -1,0 +1,1 @@
+lib/netsim/lossy.mli: Packet Rng

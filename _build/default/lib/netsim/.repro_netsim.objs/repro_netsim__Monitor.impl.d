@@ -1,0 +1,1 @@
+lib/netsim/monitor.ml: Array Hashtbl List Packet Queue Repro_stats Sim Tcp

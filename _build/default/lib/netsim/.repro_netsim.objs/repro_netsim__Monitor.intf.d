@@ -1,0 +1,1 @@
+lib/netsim/monitor.mli: Queue Repro_stats Sim Tcp

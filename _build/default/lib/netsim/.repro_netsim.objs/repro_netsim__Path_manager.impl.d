@@ -1,0 +1,1 @@
+lib/netsim/path_manager.ml: Array Sim Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/netsim/path_manager.mli: Sim Tcp

@@ -1,0 +1,1 @@
+lib/netsim/queue.ml: Packet Rng Sim Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/queue.mli: Packet Rng Sim

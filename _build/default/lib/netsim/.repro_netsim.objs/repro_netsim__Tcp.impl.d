@@ -1,0 +1,1 @@
+lib/netsim/tcp.ml: Array Hashtbl Packet Repro_cc Sim Stdlib

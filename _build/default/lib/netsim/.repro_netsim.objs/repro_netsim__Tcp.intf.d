@@ -1,0 +1,1 @@
+lib/netsim/tcp.mli: Packet Repro_cc Sim

@@ -1,0 +1,24 @@
+type t = {
+  rng : Rng.t;
+  loss_prob : float;
+  mutable dropped : int;
+  mutable passed : int;
+}
+
+let create ~rng ~loss_prob =
+  if loss_prob < 0. || loss_prob >= 1. then
+    invalid_arg "Lossy.create: loss_prob must be in [0, 1)";
+  { rng; loss_prob; dropped = 0; passed = 0 }
+
+let hop t (p : Packet.t) =
+  match p.kind with
+  | Packet.Ack _ -> Packet.forward p
+  | Packet.Data ->
+    if Rng.float t.rng < t.loss_prob then t.dropped <- t.dropped + 1
+    else begin
+      t.passed <- t.passed + 1;
+      Packet.forward p
+    end
+
+let dropped t = t.dropped
+let passed t = t.passed

@@ -1,0 +1,14 @@
+(** Random-loss hop: drops each data packet independently with a fixed
+    probability, modeling non-congestion (wireless) losses — the setting
+    of Chen et al.'s follow-up study the paper cites (§I, [12]). ACKs
+    pass through unharmed, as they would over a reliable reverse
+    channel. *)
+
+type t
+
+val create : rng:Rng.t -> loss_prob:float -> t
+(** Raises [Invalid_argument] unless [0 <= loss_prob < 1]. *)
+
+val hop : t -> Packet.hop
+val dropped : t -> int
+val passed : t -> int

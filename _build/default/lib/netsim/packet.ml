@@ -1,0 +1,31 @@
+type kind = Data | Ack of { ackno : int; echo : float; sack : (int * int) option }
+
+type t = {
+  kind : kind;
+  seq : int;
+  size_bytes : int;
+  flow : int;
+  subflow : int;
+  mutable hop : int;
+  route : hop array;
+  mutable sent_at : float;
+}
+
+and hop = t -> unit
+
+let data_size = 1500
+let ack_size = 40
+
+let data ~flow ~subflow ~seq ~sent_at ~route =
+  { kind = Data; seq; size_bytes = data_size; flow; subflow; hop = 0;
+    route; sent_at }
+
+let ack ~flow ~subflow ~ackno ~echo ~sack ~route ~sent_at =
+  { kind = Ack { ackno; echo; sack }; seq = 0; size_bytes = ack_size; flow;
+    subflow; hop = 0; route; sent_at }
+
+let forward p =
+  assert (p.hop < Array.length p.route);
+  let h = p.route.(p.hop) in
+  p.hop <- p.hop + 1;
+  h p

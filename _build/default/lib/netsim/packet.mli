@@ -1,0 +1,44 @@
+(** Packets and forwarding.
+
+    A packet carries its remaining route as an array of hops; each hop is
+    a function consuming the packet (a queue's enqueue, a pipe's delay, or
+    an endpoint's protocol handler). *)
+
+type kind =
+  | Data  (** one MSS of payload *)
+  | Ack of { ackno : int; echo : float; sack : (int * int) option }
+      (** cumulative ACK: [ackno] is the next expected sequence number;
+          [echo] is the departure timestamp of the packet that triggered
+          it, used for RTT sampling; [sack] is the most recent SACK block
+          [\[lo, hi)] of out-of-order data held by the receiver *)
+
+type t = {
+  kind : kind;
+  seq : int;  (** sequence number, in packets (Data only; 0 for ACKs) *)
+  size_bytes : int;
+  flow : int;  (** connection id, for tracing *)
+  subflow : int;
+  mutable hop : int;  (** index of the next hop to visit *)
+  route : hop array;
+  mutable sent_at : float;  (** departure time from the sender *)
+}
+
+and hop = t -> unit
+
+val data_size : int
+(** 1500 bytes: MSS-sized segments. *)
+
+val ack_size : int
+(** 40 bytes. *)
+
+val data : flow:int -> subflow:int -> seq:int -> sent_at:float ->
+  route:hop array -> t
+(** A data packet positioned at the first hop of [route]. *)
+
+val ack : flow:int -> subflow:int -> ackno:int -> echo:float ->
+  sack:(int * int) option -> route:hop array -> sent_at:float -> t
+(** An acknowledgment positioned at the first hop of [route]. *)
+
+val forward : t -> unit
+(** Deliver the packet to its next hop, advancing the hop index. Must not
+    be called past the last hop (asserted). *)

@@ -1,0 +1,10 @@
+type t = { sim : Sim.t; delay : float }
+
+let create ~sim ~delay =
+  if delay < 0. then invalid_arg "Pipe.create: negative delay";
+  { sim; delay }
+
+let hop t (p : Packet.t) =
+  Sim.schedule_after t.sim t.delay (fun () -> Packet.forward p)
+
+let delay t = t.delay

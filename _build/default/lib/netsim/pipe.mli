@@ -1,0 +1,12 @@
+(** Fixed propagation delay element (htsim's "pipe"): forwards every
+    packet after a constant latency, with unlimited capacity. *)
+
+type t
+
+val create : sim:Sim.t -> delay:float -> t
+(** [delay] in seconds; must be non-negative. *)
+
+val hop : t -> Packet.hop
+(** The entry point, to place on routes. *)
+
+val delay : t -> float

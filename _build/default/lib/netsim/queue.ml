@@ -1,0 +1,163 @@
+type red_params = {
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  weight : float;
+}
+
+let paper_red ~link_mbps =
+  let scale = link_mbps /. 10. in
+  {
+    min_th = 25. *. scale;
+    max_th = 50. *. scale;
+    max_p = 0.1;
+    weight = 0.002;
+  }
+
+type discipline = Droptail | Red of red_params
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  rate_bps : float;
+  buffer_pkts : int;
+  discipline : discipline;
+  name : string;
+  fifo : Packet.t Stdlib.Queue.t;
+  mutable busy : bool;
+  mutable backlog : int;
+  mutable avg_queue : float;
+  mutable idle_since : float;
+  mutable red_count : int;  (* packets since the last RED drop *)
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable bytes_forwarded : int;
+}
+
+let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
+  if rate_bps <= 0. then invalid_arg "Queue.create: rate must be > 0";
+  if buffer_pkts <= 0 then invalid_arg "Queue.create: buffer must be > 0";
+  {
+    sim;
+    rng;
+    rate_bps;
+    buffer_pkts;
+    discipline;
+    name;
+    fifo = Stdlib.Queue.create ();
+    busy = false;
+    backlog = 0;
+    avg_queue = 0.;
+    idle_since = 0.;
+    red_count = -1;
+    arrivals = 0;
+    drops = 0;
+    bytes_forwarded = 0;
+  }
+
+let service_time t (p : Packet.t) =
+  float_of_int (8 * p.size_bytes) /. t.rate_bps
+
+let rec serve t =
+  match Stdlib.Queue.take_opt t.fifo with
+  | None ->
+    t.busy <- false;
+    t.idle_since <- Sim.now t.sim
+  | Some p ->
+    t.busy <- true;
+    Sim.schedule_after t.sim (service_time t p) (fun () ->
+        t.backlog <- t.backlog - 1;
+        t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
+        Packet.forward p;
+        serve t)
+
+let red_drop_probability params avg =
+  if avg < params.min_th then 0.
+  else if avg < params.max_th then
+    params.max_p *. (avg -. params.min_th) /. (params.max_th -. params.min_th)
+  else if avg < 2. *. params.max_th then
+    params.max_p +. ((1. -. params.max_p) *. (avg -. params.max_th)
+                     /. params.max_th)
+  else 1.
+
+let red_decides_drop t params =
+  (* EWMA over the instantaneous backlog, updated at each arrival. During
+     idle periods the average decays as if small packets had been served
+     back-to-back (Floyd & Jacobson's idle handling), so a drained queue
+     does not keep dropping based on a stale average. *)
+  if (not t.busy) && t.backlog = 0 then begin
+    let idle = Sim.now t.sim -. t.idle_since in
+    let pkt_time = float_of_int (8 * Packet.data_size) /. t.rate_bps in
+    if idle > 0. && pkt_time > 0. then
+      t.avg_queue <-
+        t.avg_queue *. ((1. -. params.weight) ** (idle /. pkt_time))
+  end;
+  t.avg_queue <-
+    ((1. -. params.weight) *. t.avg_queue)
+    +. (params.weight *. float_of_int t.backlog);
+  let p_b = red_drop_probability params t.avg_queue in
+  if p_b <= 0. then begin
+    t.red_count <- -1;
+    false
+  end
+  else if p_b >= 1. then begin
+    t.red_count <- 0;
+    true
+  end
+  else begin
+    (* Floyd & Jacobson's inter-drop uniformization: spreading drops
+       ~1/p_b packets apart avoids the clustered losses within one window
+       that would make TCP halve once for several drops. *)
+    t.red_count <- t.red_count + 1;
+    let denom = 1. -. (float_of_int t.red_count *. p_b) in
+    let p_a = if denom <= 0. then 1. else p_b /. denom in
+    if Rng.float t.rng < p_a then begin
+      t.red_count <- 0;
+      true
+    end
+    else false
+  end
+
+let is_data (p : Packet.t) =
+  match p.kind with Packet.Data -> true | Packet.Ack _ -> false
+
+let enqueue t (p : Packet.t) =
+  if is_data p then t.arrivals <- t.arrivals + 1;
+  let dropped =
+    if t.backlog >= t.buffer_pkts then true
+    else
+      match t.discipline with
+      | Droptail -> false
+      | Red params -> red_decides_drop t params
+  in
+  if dropped then begin
+    if is_data p then t.drops <- t.drops + 1
+  end
+  else begin
+    Stdlib.Queue.add p t.fifo;
+    t.backlog <- t.backlog + 1;
+    if not t.busy then serve t
+  end
+
+let hop t = enqueue t
+let backlog t = t.backlog
+let arrivals t = t.arrivals
+let drops t = t.drops
+
+let loss_probability t =
+  if t.arrivals = 0 then 0.
+  else float_of_int t.drops /. float_of_int t.arrivals
+
+let bytes_forwarded t = t.bytes_forwarded
+
+let utilization t ~since ~now =
+  let dt = now -. since in
+  if dt <= 0. then 0.
+  else float_of_int (8 * t.bytes_forwarded) /. (t.rate_bps *. dt)
+
+let reset_stats t =
+  t.arrivals <- 0;
+  t.drops <- 0;
+  t.bytes_forwarded <- 0
+
+let name t = t.name

@@ -1,0 +1,63 @@
+(** Output queue of a link: serialization at the link rate plus a buffer
+    with a queueing discipline — DropTail or the paper's RED profile.
+
+    The RED profile of §III ("Testbed Setup"): the dropping probability is
+    0 below [min_th], grows linearly to [max_p] at [max_th], then linearly
+    to 1 at [2·max_th] (gentle mode); queue averaging uses an exponential
+    weight. Thresholds are in packets. *)
+
+type red_params = {
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  weight : float;  (** EWMA weight of the average-queue estimator *)
+}
+
+val paper_red : link_mbps:float -> red_params
+(** The paper's parameters, proportionally adapted to the link capacity:
+    [min_th = 25], [max_th = 50] and [max_p = 0.1] for a 10 Mb/s link. *)
+
+type discipline = Droptail | Red of red_params
+
+type t
+
+val create :
+  sim:Sim.t ->
+  rng:Rng.t ->
+  rate_bps:float ->
+  buffer_pkts:int ->
+  discipline:discipline ->
+  ?name:string ->
+  unit ->
+  t
+(** A queue serving packets at [rate_bps]. Packets beyond [buffer_pkts]
+    are always dropped (hard limit); RED drops probabilistically before
+    that. *)
+
+val hop : t -> Packet.hop
+(** The enqueue entry point, to place on routes. *)
+
+val backlog : t -> int
+(** Packets currently queued or in service. *)
+
+val arrivals : t -> int
+(** Data-packet arrivals (ACKs are not counted in the loss statistics). *)
+
+val drops : t -> int
+(** Data packets dropped. *)
+
+val loss_probability : t -> float
+(** [drops / arrivals] since creation (or since [reset_stats]). *)
+
+val bytes_forwarded : t -> int
+(** Payload bytes fully serialized, for utilization measurements. *)
+
+val utilization : t -> since:float -> now:float -> float
+(** Fraction of the link capacity used by forwarded bytes over the window
+    [\[since, now\]]. Requires [reset_stats] to have been called at
+    [since] for an exact figure. *)
+
+val reset_stats : t -> unit
+(** Zero the arrival/drop/byte counters (used after warm-up). *)
+
+val name : t -> string

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = mix (int64 t) }
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (int64 t) 11) /. 9007199254740992.
+
+let uniform t bound = float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection-free modulo is fine here: bounds are tiny vs 2^63. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1)
+                  (Int64.of_int bound))
+
+let exponential t ~mean =
+  let u = float t in
+  (* Guard against log 0. *)
+  -.mean *. log (1. -. (u *. 0.9999999999))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let derangement_permutation t n =
+  if n < 2 then invalid_arg "Rng.derangement_permutation: n < 2";
+  let rec try_once () =
+    let p = permutation t n in
+    let ok = ref true in
+    Array.iteri (fun i v -> if i = v then ok := false) p;
+    if !ok then p else try_once ()
+  in
+  try_once ()

@@ -1,0 +1,120 @@
+(* Binary min-heap on (time, seq); seq breaks ties in insertion order so
+   the schedule is deterministic. *)
+type t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable fns : (unit -> unit) array;
+  mutable len : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let nop () = ()
+
+let create () =
+  {
+    times = Array.make 1024 0.;
+    seqs = Array.make 1024 0;
+    fns = Array.make 1024 nop;
+    len = 0;
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+let pending t = t.len
+let events_processed t = t.processed
+
+let less t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let tt = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tt;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let f = t.fns.(i) in
+  t.fns.(i) <- t.fns.(j);
+  t.fns.(j) <- f
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t l !smallest then smallest := l;
+  if r < t.len && less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0. in
+  let seqs = Array.make (2 * cap) 0 in
+  let fns = Array.make (2 * cap) nop in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.fns 0 fns 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.fns <- fns
+
+let schedule_at t time fn =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  if t.len = Array.length t.times then grow t;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.fns.(i) <- fn;
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t i
+
+let schedule_after t delay fn = schedule_at t (t.clock +. delay) fn
+
+let pop t =
+  let fn = t.fns.(0) and time = t.times.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.times.(0) <- t.times.(t.len);
+    t.seqs.(0) <- t.seqs.(t.len);
+    t.fns.(0) <- t.fns.(t.len)
+  end;
+  t.fns.(t.len) <- nop;
+  sift_down t 0;
+  (time, fn)
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    if t.len = 0 || t.times.(0) > horizon then continue := false
+    else begin
+      let time, fn = pop t in
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      fn ()
+    end
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let run t =
+  while t.len > 0 do
+    let time, fn = pop t in
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    fn ()
+  done

@@ -1,0 +1,31 @@
+(** Discrete-event simulation core: a clock and a time-ordered queue of
+    callbacks. Events at equal times fire in scheduling order, so runs are
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A simulator at time 0 with no events. *)
+
+val now : t -> float
+(** Current simulated time, seconds. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time fn] runs [fn] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t delay fn] = [schedule_at t (now t +. delay) fn]. *)
+
+val run_until : t -> float -> unit
+(** Process events in order until the queue is empty or the next event is
+    later than the horizon; the clock ends at the horizon. *)
+
+val run : t -> unit
+(** Process events until the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total events executed so far (for the micro-benchmarks). *)

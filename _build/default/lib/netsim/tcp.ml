@@ -1,0 +1,466 @@
+type path = { fwd : Packet.hop array; rev : Packet.hop array }
+
+type conn = {
+  sim : Sim.t;
+  cc : Repro_cc.Cc_types.t;
+  flow_id : int;
+  mutable subs : sub array;
+  mutable unassigned : int;  (* packets not yet assigned to a subflow; -1 = infinite *)
+  mutable completed : bool;
+  mutable completion_time : float option;
+  size_pkts : int option;
+  on_complete : (float -> unit) option;
+  min_rto : float;
+  rcv_wnd : float;  (* receive-window cap on each subflow's cwnd, packets *)
+  delayed_ack : bool;
+}
+
+and sub = {
+  conn : conn;
+  idx : int;
+  mutable fwd_route : Packet.hop array;  (* ends at this subflow's sink handler *)
+  mutable rev_route : Packet.hop array;  (* ends at the ACK handler *)
+  (* sender state *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable limit : int;  (* packets assigned to this subflow (finite flows) *)
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable rto_deadline : float;
+  mutable rto_armed : bool;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  sacked : (int, unit) Hashtbl.t;  (* scoreboard of SACKed sequences *)
+  mutable high_rtx : int;  (* highest seq retransmitted this recovery *)
+  mutable enabled : bool;  (* path manager can stop new data on a subflow *)
+  (* receiver state *)
+  mutable rcv_cum : int;  (* next expected sequence number *)
+  ooo : (int, unit) Hashtbl.t;
+  mutable delack_count : int;  (* in-order segments not yet acknowledged *)
+  mutable delack_echo : float;  (* timestamp to echo when the delack flushes *)
+  mutable delack_timer : bool;
+}
+
+let min_ssthresh sub =
+  if Array.length sub.conn.subs > 1 then
+    match sub.conn.cc.Repro_cc.Cc_types.multipath_initial_ssthresh with
+    | Some s -> s
+    | None -> 2.
+  else 2.
+
+let flight sub = sub.snd_nxt - sub.snd_una
+
+let views conn =
+  Array.map
+    (fun s ->
+      {
+        Repro_cc.Cc_types.cwnd = s.cwnd;
+        rtt = (if s.srtt > 0. then s.srtt else 0.1);
+      })
+    conn.subs
+
+(* --- sending ------------------------------------------------------- *)
+
+let transmit sub seq =
+  let p =
+    Packet.data ~flow:sub.conn.flow_id ~subflow:sub.idx ~seq
+      ~sent_at:(Sim.now sub.conn.sim) ~route:sub.fwd_route
+  in
+  Packet.forward p
+
+let purge_sacked sub =
+  Hashtbl.filter_map_inplace
+    (fun seq () -> if seq >= sub.snd_una then Some () else None)
+    sub.sacked
+
+(* RFC 6298 timer management: the deadline is restarted when new data is
+   acknowledged ([restart_rto]) and merely armed, without pushing an
+   existing deadline, when data is transmitted ([ensure_rto]). *)
+let rec restart_rto sub =
+  sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
+  ensure_rto sub
+
+and ensure_rto sub =
+  if not sub.rto_armed then begin
+    if sub.rto_deadline <= Sim.now sub.conn.sim then
+      sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
+    sub.rto_armed <- true;
+    let rec fire () =
+      sub.rto_armed <- false;
+      if (not sub.conn.completed) && flight sub > 0 then begin
+        let now = Sim.now sub.conn.sim in
+        if now +. 1e-12 >= sub.rto_deadline then on_timeout sub
+        else begin
+          sub.rto_armed <- true;
+          Sim.schedule_at sub.conn.sim sub.rto_deadline fire
+        end
+      end
+    in
+    Sim.schedule_at sub.conn.sim sub.rto_deadline fire
+  end
+
+and on_timeout sub =
+  sub.timeouts <- sub.timeouts + 1;
+  sub.conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
+  let fl = float_of_int (flight sub) in
+  sub.ssthresh <- Stdlib.max (fl /. 2.) (min_ssthresh sub);
+  sub.cwnd <- 1.;
+  sub.dupacks <- 0;
+  sub.in_recovery <- false;
+  sub.retransmits <- sub.retransmits + 1;
+  (* go-back-N: everything past the last cumulative ACK is resent as the
+     window reopens *)
+  sub.snd_nxt <- sub.snd_una;
+  sub.high_rtx <- sub.snd_una - 1;
+  purge_sacked sub;
+  sub.rto <- Stdlib.min (2. *. sub.rto) 60.;
+  transmit sub sub.snd_una;
+  sub.snd_nxt <- sub.snd_una + 1;
+  restart_rto sub
+
+let can_assign sub =
+  if sub.snd_nxt < sub.limit then true
+  else if sub.conn.unassigned < 0 then begin
+    (* infinite flow: extend the assignment lazily *)
+    sub.limit <- sub.snd_nxt + 1;
+    true
+  end
+  else if sub.conn.unassigned > 0 then begin
+    sub.conn.unassigned <- sub.conn.unassigned - 1;
+    sub.limit <- sub.limit + 1;
+    true
+  end
+  else false
+
+(* Limited transmit (RFC 3042): the first two duplicate ACKs may clock out
+   new segments beyond the congestion window. *)
+let effective_window sub =
+  int_of_float (Stdlib.min sub.cwnd sub.conn.rcv_wnd)
+  + if sub.in_recovery then 0 else Stdlib.min sub.dupacks 2
+
+let rec try_send sub =
+  if sub.enabled && (not sub.conn.completed)
+     && flight sub < effective_window sub then
+    if can_assign sub then begin
+      (* data after an idle period gets a fresh timer *)
+      if flight sub = 0 then
+        sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
+      let seq = sub.snd_nxt in
+      sub.snd_nxt <- sub.snd_nxt + 1;
+      if Hashtbl.mem sub.sacked seq then
+        (* the receiver already holds this segment (go-back-N skip) *)
+        try_send sub
+      else begin
+        transmit sub seq;
+        ensure_rto sub;
+        try_send sub
+      end
+    end
+
+(* --- receiving acks ------------------------------------------------ *)
+
+let sample_rtt sub echo =
+  let rtt = Sim.now sub.conn.sim -. echo in
+  if rtt > 0. then begin
+    if sub.srtt <= 0. then begin
+      sub.srtt <- rtt;
+      sub.rttvar <- rtt /. 2.
+    end
+    else begin
+      sub.rttvar <-
+        (0.75 *. sub.rttvar) +. (0.25 *. abs_float (sub.srtt -. rtt));
+      sub.srtt <- (0.875 *. sub.srtt) +. (0.125 *. rtt)
+    end;
+    (* Linux floors rttvar at tcp_rto_min/4, so RTO ≈ srtt + 200 ms even
+       when the RTT variance collapses; this absorbs queueing-delay spikes
+       at the bottleneck without spurious timeouts. *)
+    let rttvar = Stdlib.max sub.rttvar (sub.conn.min_rto /. 4.) in
+    sub.rto <-
+      Stdlib.min 60.
+        (Stdlib.max (sub.srtt +. (4. *. rttvar)) sub.conn.min_rto)
+  end
+
+let check_completion conn =
+  match conn.size_pkts with
+  | None -> ()
+  | Some size ->
+    let acked = Array.fold_left (fun a s -> a + s.snd_una) 0 conn.subs in
+    if acked >= size && not conn.completed then begin
+      conn.completed <- true;
+      conn.completion_time <- Some (Sim.now conn.sim);
+      match conn.on_complete with
+      | Some f -> f (Sim.now conn.sim)
+      | None -> ()
+    end
+
+(* RFC 6675-style NextSeg: the lowest hole in [snd_una, recover) that has
+   not been retransmitted in this recovery episode. *)
+let next_hole sub =
+  let rec find seq =
+    if seq >= sub.recover then None
+    else if Hashtbl.mem sub.sacked seq then find (seq + 1)
+    else Some seq
+  in
+  find (Stdlib.max sub.snd_una (sub.high_rtx + 1))
+
+let retransmit_hole sub =
+  match next_hole sub with
+  | None -> false
+  | Some seq ->
+    sub.retransmits <- sub.retransmits + 1;
+    sub.high_rtx <- seq;
+    transmit sub seq;
+    true
+
+let enter_recovery sub =
+  let conn = sub.conn in
+  conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
+  let v = views conn in
+  let decrease = conn.cc.Repro_cc.Cc_types.loss_decrease ~views:v ~idx:sub.idx in
+  sub.ssthresh <- Stdlib.max (sub.cwnd -. decrease) (min_ssthresh sub);
+  sub.recover <- sub.snd_nxt;
+  sub.in_recovery <- true;
+  sub.high_rtx <- sub.snd_una - 1;
+  ignore (retransmit_hole sub);
+  sub.cwnd <- sub.ssthresh +. float_of_int sub.dupacks;
+  ensure_rto sub
+
+let congestion_avoidance_increase sub newly =
+  let conn = sub.conn in
+  let v = views conn in
+  let inc = conn.cc.Repro_cc.Cc_types.increase ~views:v ~idx:sub.idx in
+  sub.cwnd <- Stdlib.max 1. (sub.cwnd +. (float_of_int newly *. inc))
+
+let on_new_ack sub ackno =
+  let conn = sub.conn in
+  let newly = ackno - sub.snd_una in
+  sub.snd_una <- ackno;
+  (* after a go-back-N rewind the receiver may already hold later data *)
+  if ackno > sub.snd_nxt then sub.snd_nxt <- ackno;
+  conn.cc.Repro_cc.Cc_types.on_ack ~idx:sub.idx ~acked:(float_of_int newly);
+  if sub.in_recovery then begin
+    if ackno > sub.recover then begin
+      (* full ACK: leave recovery, deflate to ssthresh *)
+      sub.in_recovery <- false;
+      sub.dupacks <- 0;
+      sub.cwnd <- Stdlib.max 1. sub.ssthresh;
+      purge_sacked sub
+    end
+    else begin
+      (* partial ACK: retransmit the next hole, deflate *)
+      ignore (retransmit_hole sub);
+      sub.cwnd <- Stdlib.max 1. (sub.cwnd -. float_of_int newly +. 1.)
+    end
+  end
+  else begin
+    sub.dupacks <- 0;
+    if sub.cwnd < sub.ssthresh then
+      (* slow start, with appropriate-byte-counting capped at 2 packets
+         per ACK so cumulative jumps after recovery do not cause bursts *)
+      sub.cwnd <- sub.cwnd +. float_of_int (Stdlib.min newly 2)
+    else congestion_avoidance_increase sub newly
+  end;
+  (* restart unconditionally: at w = 1 the flight is momentarily zero here
+     (the next segment goes out in try_send just after), and a stale
+     deadline would fire spuriously mid-flight *)
+  restart_rto sub;
+  check_completion conn
+
+(* Early retransmit (RFC 5827): with fewer than four segments in flight the
+   duplicate-ACK threshold drops to flight-1, so small windows can still
+   recover without a timeout. *)
+let dupack_threshold sub =
+  let fl = flight sub in
+  if fl >= 4 then 3 else Stdlib.max 1 (fl - 1)
+
+let on_dup_ack sub =
+  if sub.in_recovery then begin
+    (* each duplicate means a packet left the network: retransmit the next
+       SACK hole if any, else inflate to clock out new data *)
+    if not (retransmit_hole sub) then sub.cwnd <- sub.cwnd +. 1.
+  end
+  else begin
+    sub.dupacks <- sub.dupacks + 1;
+    if sub.dupacks >= dupack_threshold sub then enter_recovery sub
+  end
+
+let record_sack sub = function
+  | None -> ()
+  | Some (lo, hi) ->
+    for seq = lo to hi - 1 do
+      if seq >= sub.snd_una && not (Hashtbl.mem sub.sacked seq) then
+        Hashtbl.add sub.sacked seq ()
+    done
+
+let ack_handler sub (p : Packet.t) =
+  match p.kind with
+  | Packet.Data -> assert false
+  | Packet.Ack { ackno; echo; sack } ->
+    if not sub.conn.completed then begin
+      sample_rtt sub echo;
+      record_sack sub sack;
+      if ackno > sub.snd_una then on_new_ack sub ackno
+      else if ackno = sub.snd_una then on_dup_ack sub;
+      try_send sub
+    end
+
+(* --- receiver ------------------------------------------------------ *)
+
+(* The SACK block is the contiguous run of out-of-order data around the
+   segment that just arrived, as a real receiver would report first. *)
+let sack_block_around sub seq =
+  if not (Hashtbl.mem sub.ooo seq) then None
+  else begin
+    let lo = ref seq and hi = ref (seq + 1) in
+    while Hashtbl.mem sub.ooo (!lo - 1) do decr lo done;
+    while Hashtbl.mem sub.ooo !hi do incr hi done;
+    Some (!lo, !hi)
+  end
+
+let send_ack sub ~echo ~sack =
+  sub.delack_count <- 0;
+  let ack =
+    Packet.ack ~flow:sub.conn.flow_id ~subflow:sub.idx ~ackno:sub.rcv_cum
+      ~echo ~sack ~route:sub.rev_route ~sent_at:(Sim.now sub.conn.sim)
+  in
+  Packet.forward ack
+
+(* RFC 1122 delayed-ACK timer: flush a pending acknowledgment within
+   100 ms even if the second segment never arrives. *)
+let arm_delack_timer sub =
+  if not sub.delack_timer then begin
+    sub.delack_timer <- true;
+    Sim.schedule_after sub.conn.sim 0.1 (fun () ->
+        sub.delack_timer <- false;
+        if sub.delack_count > 0 then
+          send_ack sub ~echo:sub.delack_echo ~sack:None)
+  end
+
+let sink_handler sub (p : Packet.t) =
+  match p.kind with
+  | Packet.Ack _ -> assert false
+  | Packet.Data ->
+    let in_order = p.seq = sub.rcv_cum in
+    if in_order then begin
+      sub.rcv_cum <- sub.rcv_cum + 1;
+      while Hashtbl.mem sub.ooo sub.rcv_cum do
+        Hashtbl.remove sub.ooo sub.rcv_cum;
+        sub.rcv_cum <- sub.rcv_cum + 1
+      done
+    end
+    else if p.seq > sub.rcv_cum && not (Hashtbl.mem sub.ooo p.seq) then
+      Hashtbl.add sub.ooo p.seq ();
+    let gap = Hashtbl.length sub.ooo > 0 in
+    if sub.conn.delayed_ack && in_order && not gap then begin
+      sub.delack_count <- sub.delack_count + 1;
+      sub.delack_echo <- p.sent_at;
+      if sub.delack_count >= 2 then send_ack sub ~echo:p.sent_at ~sack:None
+      else arm_delack_timer sub
+    end
+    else
+      (* out-of-order data, duplicates and hole-filling segments are
+         acknowledged immediately, carrying SACK information *)
+      send_ack sub ~echo:p.sent_at ~sack:(sack_block_around sub p.seq)
+
+(* --- construction --------------------------------------------------- *)
+
+let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
+    ?(min_rto = 0.2) ?(rcv_wnd = 10_000.) ?(delayed_ack = false)
+    ?(subflow_join_delay = 0.) ?on_complete ~flow_id () =
+  if Array.length paths = 0 then invalid_arg "Tcp.create: no paths";
+  let conn =
+    {
+      sim;
+      cc;
+      flow_id;
+      subs = [||];
+      unassigned = (match size_pkts with None -> -1 | Some s -> s);
+      completed = false;
+      completion_time = None;
+      size_pkts;
+      on_complete;
+      min_rto;
+      rcv_wnd;
+      delayed_ack;
+    }
+  in
+  let multipath = Array.length paths > 1 in
+  let initial_ssthresh =
+    if multipath then
+      match cc.Repro_cc.Cc_types.multipath_initial_ssthresh with
+      | Some s -> s
+      | None -> infinity
+    else infinity
+  in
+  let make_sub idx (path : path) =
+    let sub =
+      {
+        conn;
+        idx;
+        fwd_route = [||];
+        rev_route = [||];
+        cwnd = initial_cwnd;
+        ssthresh = initial_ssthresh;
+        snd_una = 0;
+        snd_nxt = 0;
+        limit = 0;
+        dupacks = 0;
+        in_recovery = false;
+        recover = 0;
+        srtt = 0.;
+        rttvar = 0.;
+        rto = 1.;
+        rto_deadline = 0.;
+        rto_armed = false;
+        retransmits = 0;
+        timeouts = 0;
+        sacked = Hashtbl.create 64;
+        high_rtx = -1;
+        enabled = true;
+        rcv_cum = 0;
+        ooo = Hashtbl.create 64;
+        delack_count = 0;
+        delack_echo = 0.;
+        delack_timer = false;
+      }
+    in
+    sub.fwd_route <- Array.append path.fwd [| sink_handler sub |];
+    sub.rev_route <- Array.append path.rev [| ack_handler sub |];
+    sub
+  in
+  conn.subs <- Array.mapi make_sub paths;
+  (* the first subflow starts immediately; additional subflows join after
+     the MP_JOIN handshake delay, as in real MPTCP *)
+  Array.iteri
+    (fun idx sub ->
+      let at = if idx = 0 then start else start +. subflow_join_delay in
+      Sim.schedule_at sim at (fun () -> try_send sub))
+    conn.subs;
+  conn
+
+let subflow_count conn = Array.length conn.subs
+
+let total_acked conn =
+  Array.fold_left (fun a s -> a + s.snd_una) 0 conn.subs
+
+let completed conn = conn.completed
+let completion_time conn = conn.completion_time
+let subflow_cwnd conn idx = conn.subs.(idx).cwnd
+let subflow_ssthresh conn idx = conn.subs.(idx).ssthresh
+let subflow_rtt conn idx = conn.subs.(idx).srtt
+let subflow_acked conn idx = conn.subs.(idx).snd_una
+let subflow_retransmits conn idx = conn.subs.(idx).retransmits
+let subflow_timeouts conn idx = conn.subs.(idx).timeouts
+
+let set_subflow_enabled conn idx enabled =
+  let sub = conn.subs.(idx) in
+  sub.enabled <- enabled;
+  if enabled then try_send sub
+
+let subflow_enabled conn idx = conn.subs.(idx).enabled

@@ -1,0 +1,78 @@
+(** TCP and MPTCP endpoints.
+
+    One [conn] is a sender/receiver pair joined by one or more paths. With
+    a single path and the Reno algorithm this is regular TCP; with several
+    paths and a coupled algorithm ([Repro_cc]) it is an MPTCP connection
+    whose subflows share the congestion controller, as in the paper's
+    Linux implementation (§IV-B):
+
+    - slow start, congestion avoidance, fast retransmit / NewReno-style
+      fast recovery and retransmission timeouts per subflow;
+    - the congestion-avoidance increase per ACK is delegated to the
+      algorithm, which sees every subflow's window and RTT;
+    - losses apply the algorithm's decrease (TCP halving for LIA/OLIA)
+      and are reported to it (OLIA's ℓ counters);
+    - when several paths are established and the algorithm requests it
+      (OLIA), the initial slow-start threshold is forced to 1 MSS. *)
+
+type path = {
+  fwd : Packet.hop array;  (** sender → receiver hops (queues, pipes) *)
+  rev : Packet.hop array;  (** receiver → sender hops for ACKs *)
+}
+
+type conn
+
+val create :
+  sim:Sim.t ->
+  cc:Repro_cc.Cc_types.t ->
+  paths:path array ->
+  ?size_pkts:int ->
+  ?start:float ->
+  ?initial_cwnd:float ->
+  ?min_rto:float ->
+  ?rcv_wnd:float ->
+  ?delayed_ack:bool ->
+  ?subflow_join_delay:float ->
+  ?on_complete:(float -> unit) ->
+  flow_id:int ->
+  unit ->
+  conn
+(** Create a connection and schedule its first transmission at [start]
+    (default 0). [size_pkts = None] means an infinite (long-lived) flow;
+    finite flows call [on_complete] with the completion time once every
+    packet is delivered. [initial_cwnd] defaults to 2 packets, [min_rto]
+    to 0.2 s and [rcv_wnd] — the receiver-window cap on each subflow's
+    usable window — to 10000 packets. [delayed_ack] enables RFC 1122
+    receiver behavior (ACK every second in-order segment, 100 ms flush
+    timer; default off, as in the htsim comparisons).
+    [subflow_join_delay] postpones the start of every subflow but the
+    first, emulating the MP_JOIN handshake (default 0). The [cc]
+    instance must be private to this connection. *)
+
+val subflow_count : conn -> int
+val total_acked : conn -> int
+(** Unique data packets delivered so far (across subflows). *)
+
+val completed : conn -> bool
+val completion_time : conn -> float option
+
+val subflow_cwnd : conn -> int -> float
+(** Current congestion window of a subflow, packets. *)
+
+val subflow_ssthresh : conn -> int -> float
+
+val subflow_rtt : conn -> int -> float
+(** Smoothed RTT estimate (0 before the first sample). *)
+
+val subflow_acked : conn -> int -> int
+(** Cumulatively acknowledged packets on one subflow. *)
+
+val subflow_retransmits : conn -> int -> int
+val subflow_timeouts : conn -> int -> int
+
+val set_subflow_enabled : conn -> int -> bool -> unit
+(** Allow or forbid new data on a subflow. Disabling lets the flight
+    drain but sends nothing new (used by [Path_manager] to discard bad
+    paths, the paper's §VII suggestion); re-enabling resumes sending. *)
+
+val subflow_enabled : conn -> int -> bool

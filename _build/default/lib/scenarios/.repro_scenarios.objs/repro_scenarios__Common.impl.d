@@ -1,0 +1,1 @@
+lib/scenarios/common.ml: Array List Queue Repro_cc Repro_netsim Sim Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/scenarios/common.mli: Repro_cc Repro_netsim

@@ -1,0 +1,1 @@
+lib/scenarios/fattree_dynamic.ml: Array Common List Queue Repro_cc Repro_netsim Repro_stats Repro_topology Repro_workload Rng Sim Tcp

@@ -1,0 +1,1 @@
+lib/scenarios/fattree_dynamic.mli:

@@ -1,0 +1,1 @@
+lib/scenarios/fattree_static.ml: Array Common List Queue Repro_cc Repro_netsim Repro_topology Repro_workload Rng Sim Stdlib Tcp

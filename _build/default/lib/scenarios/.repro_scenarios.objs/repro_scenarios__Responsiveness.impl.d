@@ -1,0 +1,1 @@
+lib/scenarios/responsiveness.ml: Common Float List Pipe Queue Repro_cc Repro_netsim Repro_stats Rng Sim Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/scenarios/scen_a.ml: Common List Pipe Queue Repro_cc Repro_netsim Rng Sim Tcp

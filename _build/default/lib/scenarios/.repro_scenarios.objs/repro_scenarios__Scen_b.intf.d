@@ -1,0 +1,1 @@
+lib/scenarios/scen_b.mli:

@@ -1,0 +1,1 @@
+lib/scenarios/scen_c.ml: Cbr Common List Path_manager Pipe Queue Repro_cc Repro_netsim Rng Sim Tcp

@@ -1,0 +1,1 @@
+lib/scenarios/two_bottleneck.ml: Array Common List Pipe Queue Repro_cc Repro_netsim Repro_stats Rng Sim Tcp

@@ -1,0 +1,1 @@
+lib/scenarios/two_bottleneck.mli: Repro_stats

@@ -1,0 +1,1 @@
+lib/scenarios/wireless.ml: Array Common Lossy Pipe Queue Repro_netsim Rng Sim Tcp

@@ -1,0 +1,44 @@
+open Repro_netsim
+
+type cc_factory = unit -> Repro_cc.Cc_types.t
+
+let factory_of_name name () = Repro_cc.Registry.create name
+
+type measured = { goodput_pps : float; goodput_mbps : float }
+
+let mbps_of_pps pps = pps *. 1500. *. 8. /. 1e6
+
+let measure_conns ~sim ~warmup ~duration conns =
+  if warmup >= duration then invalid_arg "measure_conns: warmup >= duration";
+  let snapshots = Array.make (List.length conns) 0 in
+  Sim.schedule_at sim warmup (fun () ->
+      List.iteri (fun i c -> snapshots.(i) <- Tcp.total_acked c) conns);
+  Sim.run_until sim duration;
+  let window = duration -. warmup in
+  List.mapi
+    (fun i c ->
+      let pkts = Tcp.total_acked c - snapshots.(i) in
+      let pps = float_of_int pkts /. window in
+      { goodput_pps = pps; goodput_mbps = mbps_of_pps pps })
+    conns
+
+let paper_rtt = 0.150
+let paper_propagation_delay = 0.080
+
+let red_for ~rate_bps =
+  Queue.Red (Queue.paper_red ~link_mbps:(rate_bps /. 1e6))
+
+let bottleneck_buffer ~rate_bps =
+  Stdlib.max 50 (int_of_float (300. *. rate_bps /. 10e6))
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let rec split_at n l =
+  match l with
+  | rest when n = 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: rest ->
+    let a, b = split_at (n - 1) rest in
+    (x :: a, b)

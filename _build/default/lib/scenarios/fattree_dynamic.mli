@@ -1,0 +1,35 @@
+(** The dynamic short-flow experiment of paper §VI-B2 (Fig. 14,
+    Table III): a 4:1 oversubscribed FatTree where one third of the hosts
+    run a continuous flow (TCP or MPTCP with 8 subflows) and the remaining
+    hosts send 70 kB TCP flows every 200 ms on average. *)
+
+type config = {
+  k : int;
+  rate_mbps : float;
+  delay_ms : float;
+  oversubscription : float;
+  algo : string;  (** long-flow transport; "reno" means plain TCP *)
+  subflows : int;
+  mean_interval : float;  (** short-flow inter-arrival mean, seconds *)
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : config
+(** k = 8, 4:1 oversubscribed, 100 Mb/s hosts (the paper's rate — traffic
+    here is bounded by the oversubscribed core, so this is affordable),
+    OLIA long flows with 8 subflows, 200 ms short-flow arrivals. *)
+
+type result = {
+  completion_times_ms : float array;
+      (** completion time of every short flow that finished *)
+  mean_completion_ms : float;
+  stdev_completion_ms : float;
+  core_utilization_pct : float;
+      (** mean utilization of aggregation↔core links after warm-up *)
+  long_flow_mbps : float;  (** mean long-flow goodput *)
+  unfinished_shorts : int;
+}
+
+val run : config -> result

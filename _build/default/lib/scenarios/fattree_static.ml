@@ -1,0 +1,81 @@
+open Repro_netsim
+
+type config = {
+  k : int;
+  rate_mbps : float;
+  delay_ms : float;
+  subflows : int;
+  algo : string;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+let default =
+  {
+    k = 8;
+    rate_mbps = 10.;
+    delay_ms = 1.;
+    subflows = 8;
+    algo = "olia";
+    duration = 40.;
+    warmup = 10.;
+    seed = 1;
+  }
+
+type result = {
+  flow_mbps : float array;
+  aggregate_pct_optimal : float;
+  ranked_pct : float array;
+  mean_core_loss : float;
+}
+
+let run cfg =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:cfg.seed in
+  let rate = cfg.rate_mbps *. 1e6 in
+  let tree =
+    Repro_topology.Fattree.create ~sim ~rng:(Rng.split rng) ~k:cfg.k ~rate_bps:rate
+      ~delay:(cfg.delay_ms /. 1000.)
+      ~buffer_pkts:100 ~discipline:Queue.Droptail ()
+  in
+  let hosts = Repro_topology.Fattree.host_count tree in
+  let flows =
+    Repro_workload.Workload.permutation_long_flows ~rng:(Rng.split rng) ~hosts ~max_jitter:1.
+  in
+  let factory =
+    if cfg.subflows <= 1 then fun () -> Repro_cc.Reno.create ()
+    else Common.factory_of_name cfg.algo
+  in
+  let conns =
+    List.map
+      (fun { Repro_workload.Workload.start; src; dst; _ } ->
+        let paths =
+          Repro_topology.Fattree.sample_paths tree ~rng ~src ~dst ~n:(Stdlib.max 1 cfg.subflows)
+        in
+        Tcp.create ~sim ~cc:(factory ()) ~paths ~start ~flow_id:src ())
+      flows
+  in
+  let core = Repro_topology.Fattree.core_queues tree in
+  Sim.schedule_at sim cfg.warmup (fun () ->
+      List.iter Queue.reset_stats (Repro_topology.Fattree.all_queues tree));
+  let measured =
+    Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration conns
+  in
+  let flow_mbps =
+    Array.of_list (List.map (fun m -> m.Common.goodput_mbps) measured)
+  in
+  let total = Array.fold_left ( +. ) 0. flow_mbps in
+  let optimal = float_of_int hosts *. cfg.rate_mbps in
+  let ranked_pct =
+    let a = Array.map (fun m -> 100. *. m /. cfg.rate_mbps) flow_mbps in
+    Array.sort compare a;
+    a
+  in
+  let losses = List.map Queue.loss_probability core in
+  {
+    flow_mbps;
+    aggregate_pct_optimal = 100. *. total /. optimal;
+    ranked_pct;
+    mean_core_loss = Common.mean losses;
+  }

@@ -1,0 +1,30 @@
+(** The htsim data-center experiment of paper §VI-B1 (Fig. 13): a FatTree
+    where every host sends one long-lived flow to a random distinct host,
+    using TCP or MPTCP (LIA/OLIA) with a given number of subflows spread
+    over the equal-cost paths. *)
+
+type config = {
+  k : int;  (** FatTree arity; k = 8 gives the paper's 128 hosts *)
+  rate_mbps : float;  (** host link capacity *)
+  delay_ms : float;  (** per-hop one-way latency *)
+  subflows : int;  (** 1 = regular TCP *)
+  algo : string;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : config
+(** k = 8, 10 Mb/s links (a scaled-down stand-in for the paper's
+    100 Mb/s; see DESIGN.md), 1 ms hops, 8 subflows, OLIA. *)
+
+type result = {
+  flow_mbps : float array;  (** per-flow goodput *)
+  aggregate_pct_optimal : float;
+      (** total goodput as % of [hosts·rate] (the permutation optimum) *)
+  ranked_pct : float array;
+      (** per-flow goodput as % of optimal, ascending — Fig. 13(b) *)
+  mean_core_loss : float;  (** mean loss probability over core queues *)
+}
+
+val run : config -> result

@@ -1,0 +1,30 @@
+(** Testbed Scenario B (paper Fig. 3, Tables I–II): the four-ISP
+    multihoming story. [n] Blue users are multihomed (one subflow through
+    bottleneck ISP X, one through bottleneck ISP T); [n] Red users connect
+    through T and may upgrade to MPTCP by adding a subflow through X
+    (which then also crosses T, per the paper's capacity constraints). *)
+
+type config = {
+  n : int;
+  cx_mbps : float;  (** total capacity of ISP X *)
+  ct_mbps : float;  (** total capacity of ISP T *)
+  red_multipath : bool;  (** have Red users upgraded to MPTCP? *)
+  algo : string;  (** coupled algorithm of the multipath users *)
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : config
+(** The Table I/II setting: 15+15 users, CX = 27, CT = 36 Mb/s. *)
+
+type result = {
+  blue_rate : float;  (** mean per-user Blue goodput, Mb/s *)
+  red_rate : float;  (** mean per-user Red goodput, Mb/s *)
+  aggregate : float;  (** total goodput, Mb/s *)
+  px : float;  (** measured loss probability at X *)
+  pt : float;  (** measured loss probability at T *)
+}
+
+val run : config -> result
+val replicate : config -> seeds:int list -> result list

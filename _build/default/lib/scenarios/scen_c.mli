@@ -1,0 +1,33 @@
+(** Testbed Scenario C (paper Fig. 5): N1 multipath users connected to a
+    private AP1 (capacity [n1·c1]) and to a shared AP2 (capacity
+    [n2·c2]) that N2 single-path TCP users depend on. *)
+
+type config = {
+  n1 : int;
+  n2 : int;
+  c1_mbps : float;
+  c2_mbps : float;
+  algo : string;  (** congestion control of the multipath users *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  background_mbps : float;
+      (** CBR background traffic through AP2 (0 = none) — the paper's §VII
+          "background traffic" factor *)
+  with_path_manager : bool;
+      (** attach a [Path_manager] to every multipath user — the §VII
+          "discarding bad paths" refinement *)
+}
+
+val default : config
+(** N1 = N2 = 10, C1 = C2 = 1 Mb/s, OLIA, 120 s / 30 s warmup. *)
+
+type result = {
+  norm_multipath : float;  (** mean multipath goodput normalized by c1 *)
+  norm_single : float;  (** mean single-path goodput normalized by c2 *)
+  p1 : float;
+  p2 : float;
+}
+
+val run : config -> result
+val replicate : config -> seeds:int list -> result list

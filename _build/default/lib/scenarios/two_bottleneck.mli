@@ -1,0 +1,40 @@
+(** The illustrative two-bottleneck example of paper §IV-C (Figs. 6–8):
+    one two-path MPTCP user whose paths cross two separate links of equal
+    capacity, shared with [n_tcp1] and [n_tcp2] regular TCP flows.
+
+    With [n_tcp1 = n_tcp2] both paths are equally good and the multipath
+    user should use both without flapping (Fig. 7); with 5 vs 10 TCP flows
+    it should concentrate on the first path and keep a minimal window on
+    the congested one (Fig. 8). *)
+
+type config = {
+  n_tcp1 : int;  (** TCP flows sharing bottleneck 1 *)
+  n_tcp2 : int;  (** TCP flows sharing bottleneck 2 *)
+  c_mbps : float;  (** capacity of each bottleneck *)
+  delay1_ms : float;  (** one-way propagation of path 1 (default 40 ms) *)
+  delay2_ms : float;  (** one-way propagation of path 2 *)
+  algo : string;
+  duration : float;
+  sample_period : float;  (** window/α sampling interval *)
+  seed : int;
+}
+
+val symmetric : config
+(** Fig. 7: 5 TCP flows on each bottleneck, OLIA, 10 Mb/s, 120 s. *)
+
+val asymmetric : config
+(** Fig. 8: 5 vs 10 TCP flows. *)
+
+type traces = {
+  w1 : Repro_stats.Timeseries.t;  (** multipath window on path 1, packets *)
+  w2 : Repro_stats.Timeseries.t;
+  alpha1 : Repro_stats.Timeseries.t;  (** OLIA's α on path 1 (zero for LIA) *)
+  alpha2 : Repro_stats.Timeseries.t;
+  goodput1_mbps : float;  (** multipath goodput via path 1 *)
+  goodput2_mbps : float;
+  flip_count : int;
+      (** times the paths swapped window-size order with a margin of 2
+          packets — the flappiness indicator *)
+}
+
+val run : config -> traces

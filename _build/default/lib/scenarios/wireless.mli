@@ -1,0 +1,33 @@
+(** Wireless multipath scenario, after Chen, Lim, Gibbens, Nahum, Khalili
+    and Towsley's measurement study (the paper's reference [12], which
+    found "MPTCP with OLIA always outperforms MPTCP with LIA in wireless
+    networks").
+
+    A dual-homed client bonds a WiFi-like path (higher rate, random
+    non-congestion losses, short RTT) with a cellular-like path (lower
+    rate, clean, long RTT). *)
+
+type config = {
+  wifi_mbps : float;
+  wifi_loss : float;  (** random per-packet loss on the WiFi path *)
+  wifi_delay_ms : float;  (** one-way propagation *)
+  cell_mbps : float;
+  cell_delay_ms : float;
+  algo : string;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : config
+(** 20 Mb/s WiFi with 1% random loss and 15 ms delay; 8 Mb/s cellular
+    with 40 ms delay; OLIA; 90 s / 20 s warm-up. *)
+
+type result = {
+  wifi_mbps : float;  (** goodput carried over the WiFi path *)
+  cell_mbps : float;
+  total_mbps : float;
+  wifi_timeouts : int;
+}
+
+val run : config -> result

@@ -1,0 +1,1 @@
+lib/stats/csv.ml: Array List Printf String Timeseries

@@ -1,0 +1,60 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+let bin_width t = (t.hi -. t.lo) /. float_of_int (bins t)
+
+let bin_index t x =
+  let i = int_of_float ((x -. t.lo) /. bin_width t) in
+  if i < 0 then 0 else if i >= bins t then bins t - 1 else i
+
+let add t x =
+  t.counts.(bin_index t x) <- t.counts.(bin_index t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. bin_width t)
+let bin_count t i = t.counts.(i)
+
+let pdf t =
+  let w = bin_width t in
+  let norm = if t.total = 0 then 0. else 1. /. (float_of_int t.total *. w) in
+  Array.mapi
+    (fun i c -> (bin_center t i, float_of_int c *. norm))
+    t.counts
+
+let cdf t =
+  let acc = ref 0 in
+  let norm = if t.total = 0 then 0. else 1. /. float_of_int t.total in
+  Array.mapi
+    (fun i c ->
+      acc := !acc + c;
+      (t.lo +. (float_of_int (i + 1) *. bin_width t), float_of_int !acc *. norm))
+    t.counts
+
+let quantile t q =
+  if t.total = 0 then nan
+  else
+    let target = q *. float_of_int t.total in
+    let rec loop i acc =
+      if i >= bins t then t.hi
+      else
+        let acc' = acc +. float_of_int t.counts.(i) in
+        if acc' >= target then
+          let inside =
+            if t.counts.(i) = 0 then 0.
+            else (target -. acc) /. float_of_int t.counts.(i)
+          in
+          t.lo +. ((float_of_int i +. inside) *. bin_width t)
+        else loop (i + 1) acc'
+    in
+    loop 0 0.

@@ -1,0 +1,42 @@
+(** Fixed-width binned histograms, used to reproduce the paper's
+    completion-time PDFs (Fig. 14). *)
+
+type t
+(** Mutable histogram with equal-width bins over [\[lo, hi)]. Observations
+    outside the range are counted in saturating edge bins. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] makes a histogram of [bins] equal-width bins
+    covering [\[lo, hi)]. Raises [Invalid_argument] if [bins <= 0] or
+    [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one observation. Values below [lo] land in the first bin,
+    values at or above [hi] in the last. *)
+
+val count : t -> int
+(** Total number of recorded observations. *)
+
+val bins : t -> int
+(** Number of bins. *)
+
+val bin_width : t -> float
+(** Width of each bin. *)
+
+val bin_center : t -> int -> float
+(** Center abscissa of bin [i]. *)
+
+val bin_count : t -> int -> int
+(** Raw count in bin [i]. *)
+
+val pdf : t -> (float * float) array
+(** [(center, density)] rows: counts normalized so the histogram integrates
+    to 1 (density = count / (total * width)). Empty histogram yields all-zero
+    densities. *)
+
+val cdf : t -> (float * float) array
+(** [(upper-edge, cumulative fraction)] rows. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] approximates the [q]-quantile (0..1) by linear
+    interpolation within the containing bin. [nan] when empty. *)

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array Duplex Graph Hashtbl List Queue Repro_netsim Rng Sim Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/topology/duplex.ml: Pipe Queue Repro_netsim Rng

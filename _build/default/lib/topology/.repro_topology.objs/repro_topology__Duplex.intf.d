@@ -1,0 +1,1 @@
+lib/topology/duplex.mli: Repro_netsim

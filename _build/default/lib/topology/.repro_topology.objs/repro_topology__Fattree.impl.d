@@ -1,0 +1,1 @@
+lib/topology/fattree.ml: Array Duplex List Printf Repro_netsim Rng Tcp

@@ -1,0 +1,30 @@
+(** A bidirectional link: one queue + propagation pipe per direction.
+    The building block for all testbed topologies. *)
+
+type t
+
+val create :
+  sim:Repro_netsim.Sim.t ->
+  rng:Repro_netsim.Rng.t ->
+  rate_bps:float ->
+  delay:float ->
+  buffer_pkts:int ->
+  discipline:Repro_netsim.Queue.discipline ->
+  ?name:string ->
+  unit ->
+  t
+(** Both directions share the rate, delay, buffer and discipline. *)
+
+val fwd_hops : t -> Repro_netsim.Packet.hop array
+(** Hops (queue then pipe) traversing the link in the forward
+    direction. *)
+
+val rev_hops : t -> Repro_netsim.Packet.hop array
+(** Hops for the reverse direction. *)
+
+val fwd_queue : t -> Repro_netsim.Queue.t
+(** The forward-direction queue, for loss and utilization statistics. *)
+
+val rev_queue : t -> Repro_netsim.Queue.t
+
+val one_way_delay : t -> float

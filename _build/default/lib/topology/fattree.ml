@@ -1,0 +1,145 @@
+open Repro_netsim
+
+type t = {
+  k : int;
+  host_links : Duplex.t array;  (* host -> its edge switch; fwd = up *)
+  edge_agg : Duplex.t array array array;  (* [pod].[edge].[agg]; fwd = up *)
+  agg_core : Duplex.t array array array;  (* [pod].[agg].[core-in-group]; fwd = up *)
+}
+
+let half t = t.k / 2
+let hosts_per_pod k = k * k / 4
+
+let create ~sim ~rng ~k ~rate_bps ~delay ~buffer_pkts ~discipline
+    ?(oversubscription = 1.) () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Fattree.create: k must be even";
+  if oversubscription < 1. then
+    invalid_arg "Fattree.create: oversubscription < 1";
+  let h = k / 2 in
+  let n_hosts = k * k * k / 4 in
+  let mk rate name =
+    Duplex.create ~sim ~rng ~rate_bps:rate ~delay ~buffer_pkts ~discipline
+      ~name ()
+  in
+  let up_rate = rate_bps /. oversubscription in
+  let host_links =
+    Array.init n_hosts (fun i -> mk rate_bps (Printf.sprintf "host%d" i))
+  in
+  let edge_agg =
+    Array.init k (fun pod ->
+        Array.init h (fun e ->
+            Array.init h (fun a ->
+                mk up_rate (Printf.sprintf "ea-p%d-e%d-a%d" pod e a))))
+  in
+  let agg_core =
+    Array.init k (fun pod ->
+        Array.init h (fun a ->
+            Array.init h (fun j ->
+                mk up_rate (Printf.sprintf "ac-p%d-a%d-c%d" pod a j))))
+  in
+  { k; host_links; edge_agg; agg_core }
+
+let k t = t.k
+let host_count t = t.k * t.k * t.k / 4
+let switch_count t = 5 * t.k * t.k / 4
+
+let pod_of t host = host / hosts_per_pod t.k
+let edge_of t host = host mod hosts_per_pod t.k / half t
+
+let check_pair t ~src ~dst =
+  let n = host_count t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Fattree: host out of range";
+  if src = dst then invalid_arg "Fattree: src = dst"
+
+let path_count t ~src ~dst =
+  check_pair t ~src ~dst;
+  if pod_of t src <> pod_of t dst then half t * half t
+  else if edge_of t src <> edge_of t dst then half t
+  else 1
+
+(* A path is a list of (link, up?) pairs; the reverse path uses the same
+   links in the opposite order and direction. *)
+let assemble legs =
+  let fwd =
+    List.concat_map
+      (fun (l, up) ->
+        Array.to_list (if up then Duplex.fwd_hops l else Duplex.rev_hops l))
+      legs
+  in
+  let rev =
+    List.concat_map
+      (fun (l, up) ->
+        Array.to_list (if up then Duplex.rev_hops l else Duplex.fwd_hops l))
+      (List.rev legs)
+  in
+  { Tcp.fwd = Array.of_list fwd; rev = Array.of_list rev }
+
+let all_paths t ~src ~dst =
+  check_pair t ~src ~dst;
+  let h = half t in
+  let p_src = pod_of t src and p_dst = pod_of t dst in
+  let e_src = edge_of t src and e_dst = edge_of t dst in
+  let up_host = (t.host_links.(src), true) in
+  let down_host = (t.host_links.(dst), false) in
+  if p_src <> p_dst then
+    Array.init (h * h) (fun i ->
+        let a = i / h and j = i mod h in
+        assemble
+          [
+            up_host;
+            (t.edge_agg.(p_src).(e_src).(a), true);
+            (t.agg_core.(p_src).(a).(j), true);
+            (t.agg_core.(p_dst).(a).(j), false);
+            (t.edge_agg.(p_dst).(e_dst).(a), false);
+            down_host;
+          ])
+  else if e_src <> e_dst then
+    Array.init h (fun a ->
+        assemble
+          [
+            up_host;
+            (t.edge_agg.(p_src).(e_src).(a), true);
+            (t.edge_agg.(p_src).(e_dst).(a), false);
+            down_host;
+          ])
+  else [| assemble [ up_host; down_host ] |]
+
+let sample_paths t ~rng ~src ~dst ~n =
+  let paths = all_paths t ~src ~dst in
+  if n >= Array.length paths then paths
+  else begin
+    let idx = Rng.permutation rng (Array.length paths) in
+    Array.init n (fun i -> paths.(idx.(i)))
+  end
+
+let core_queues t =
+  let acc = ref [] in
+  Array.iter
+    (fun pod ->
+      Array.iter
+        (fun agg ->
+          Array.iter
+            (fun l ->
+              acc := Duplex.fwd_queue l :: Duplex.rev_queue l :: !acc)
+            agg)
+        pod)
+    t.agg_core;
+  !acc
+
+let all_queues t =
+  let acc = ref (core_queues t) in
+  Array.iter
+    (fun l -> acc := Duplex.fwd_queue l :: Duplex.rev_queue l :: !acc)
+    t.host_links;
+  Array.iter
+    (fun pod ->
+      Array.iter
+        (fun edge ->
+          Array.iter
+            (fun l ->
+              acc := Duplex.fwd_queue l :: Duplex.rev_queue l :: !acc)
+            edge)
+        pod)
+    t.edge_agg;
+  !acc

@@ -1,0 +1,49 @@
+(** k-ary FatTree topology (paper §VI-B; the htsim data-center setting:
+    k = 8 gives 128 hosts and 80 switches).
+
+    The tree has [k] pods, each with [k/2] edge and [k/2] aggregation
+    switches, and [(k/2)²] core switches. Every adjacent pair is joined by
+    a bidirectional link. Between two hosts in different pods there are
+    [(k/2)²] equal-length paths (one per aggregation/core choice), which
+    MPTCP subflows are spread across ECMP-style. *)
+
+type t
+
+val create :
+  sim:Repro_netsim.Sim.t ->
+  rng:Repro_netsim.Rng.t ->
+  k:int ->
+  rate_bps:float ->
+  delay:float ->
+  buffer_pkts:int ->
+  discipline:Repro_netsim.Queue.discipline ->
+  ?oversubscription:float ->
+  unit ->
+  t
+(** [k] must be even and ≥ 2. [delay] is the one-way latency of each hop.
+    [oversubscription] divides the capacity of edge→aggregation and
+    aggregation→core links (default 1., i.e. a full-bisection tree; Fig. 14
+    uses 4). *)
+
+val k : t -> int
+val host_count : t -> int
+val switch_count : t -> int
+
+val path_count : t -> src:int -> dst:int -> int
+(** Number of distinct shortest paths between two hosts. *)
+
+val all_paths : t -> src:int -> dst:int -> Repro_netsim.Tcp.path array
+(** Every shortest path, as ready-to-use forward/reverse hop arrays.
+    Raises [Invalid_argument] if [src = dst] or out of range. *)
+
+val sample_paths :
+  t -> rng:Repro_netsim.Rng.t -> src:int -> dst:int -> n:int ->
+  Repro_netsim.Tcp.path array
+(** [n] paths chosen uniformly without replacement (all of them if fewer
+    than [n] exist) — the paper's "MPTCP with n subflows". *)
+
+val core_queues : t -> Repro_netsim.Queue.t list
+(** Queues of every aggregation→core and core→aggregation hop, for the
+    network-core utilization figure of Table III. *)
+
+val all_queues : t -> Repro_netsim.Queue.t list

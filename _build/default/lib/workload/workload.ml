@@ -1,0 +1,31 @@
+open Repro_netsim
+
+type flow_spec = {
+  start : float;
+  size_pkts : int option;
+  src : int;
+  dst : int;
+}
+
+let staggered_starts ~rng ~n ~max_jitter =
+  Array.init n (fun _ -> Rng.uniform rng max_jitter)
+
+let permutation_long_flows ~rng ~hosts ~max_jitter =
+  let perm = Rng.derangement_permutation rng hosts in
+  List.init hosts (fun src ->
+      {
+        start = Rng.uniform rng max_jitter;
+        size_pkts = None;
+        src;
+        dst = perm.(src);
+      })
+
+let poisson_short_flows ~rng ~src ~dst ~mean_interval ~size_pkts ~duration =
+  let rec gen t acc =
+    let t = t +. Rng.exponential rng ~mean:mean_interval in
+    if t >= duration then List.rev acc
+    else gen t ({ start = t; size_pkts = Some size_pkts; src; dst } :: acc)
+  in
+  gen 0. []
+
+let short_flow_pkts = (70 * 1000 / 1500) + 1

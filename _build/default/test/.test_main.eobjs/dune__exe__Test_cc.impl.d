@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Balia Coupled Gen Lia List Mptcp_repro Olia QCheck QCheck_alcotest Registry Reno Stdlib Types

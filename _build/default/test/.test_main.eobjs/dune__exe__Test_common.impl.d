@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Float Mptcp_repro Pipe Printf Queue Rng Sim Tcp

@@ -1,0 +1,1 @@
+test/test_equilibrium.ml: Alcotest Array Equilibrium Mptcp_repro Network_model Olia_ode

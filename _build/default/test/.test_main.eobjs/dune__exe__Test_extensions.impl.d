@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cbr Cubic List Lossy Mptcp_repro Olia Option Packet Path_manager Pipe Printf Queue Registry Reno Rng Scalable Sim Tcp Types

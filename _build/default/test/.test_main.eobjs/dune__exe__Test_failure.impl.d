@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Lia Mptcp_repro Olia Packet Path_manager Pipe Printf Queue Reno Rng Sim Tcp

@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Gen List Mptcp_repro QCheck QCheck_alcotest Roots Scenario_a Scenario_b Scenario_c Stdlib Tcp_model Units

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Builder Filename Graph Hashtbl List Monitor Mptcp_repro Packet Pipe Printf QCheck QCheck_alcotest Queue Rng Sim Sys Tcp Unix

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Fun Gen List Mptcp_repro Packet Pipe QCheck QCheck_alcotest Queue Rng Sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Gen List Mptcp_repro Packet Pipe QCheck QCheck_alcotest Queue Rng Sim Stdlib Tcp

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Float List Mptcp_repro Printf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Filename Float Gen Histogram List Mptcp_repro QCheck QCheck_alcotest Seq String Summary Sys Table Timeseries

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Float Lia List Mptcp_repro Olia Packet Pipe Printf Queue Reno Rng Sim Tcp

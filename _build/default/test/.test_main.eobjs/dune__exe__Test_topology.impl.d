@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Duplex Fattree Fun List Mptcp_repro Packet Printf QCheck QCheck_alcotest Queue Rng Sim

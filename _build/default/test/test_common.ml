@@ -1,0 +1,80 @@
+(* Unit tests for the scenario plumbing helpers. *)
+
+module C = Mptcp_repro.Scenarios.Common
+open Mptcp_repro.Netsim
+
+let check_close eps = Alcotest.(check (float eps))
+
+let test_mean () =
+  check_close 1e-12 "mean" 2. (C.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check bool) "empty" true (Float.is_nan (C.mean []))
+
+let test_split_at () =
+  Alcotest.(check (pair (list int) (list int)))
+    "middle" ([ 1; 2 ], [ 3; 4 ]) (C.split_at 2 [ 1; 2; 3; 4 ]);
+  Alcotest.(check (pair (list int) (list int)))
+    "zero" ([], [ 1 ]) (C.split_at 0 [ 1 ]);
+  Alcotest.(check (pair (list int) (list int)))
+    "overflow" ([ 1 ], []) (C.split_at 5 [ 1 ])
+
+let test_buffer_scaling () =
+  Alcotest.(check int) "10 Mb/s" 300 (C.bottleneck_buffer ~rate_bps:10e6);
+  Alcotest.(check int) "20 Mb/s" 600 (C.bottleneck_buffer ~rate_bps:20e6);
+  Alcotest.(check int) "floor" 50 (C.bottleneck_buffer ~rate_bps:0.1e6)
+
+let test_red_for () =
+  match C.red_for ~rate_bps:20e6 with
+  | Queue.Red p -> check_close 1e-9 "scaled min_th" 50. p.Queue.min_th
+  | Queue.Droptail -> Alcotest.fail "expected RED"
+
+let test_paper_constants () =
+  check_close 1e-12 "rtt" 0.150 C.paper_rtt;
+  check_close 1e-12 "propagation" 0.080 C.paper_propagation_delay
+
+let test_factory () =
+  let f = C.factory_of_name "olia" in
+  let a = f () and b = f () in
+  Alcotest.(check string) "name" "olia" a.Mptcp_repro.Cc.Types.name;
+  Alcotest.(check bool) "fresh instances" true (a != b)
+
+let test_measure_conns_rejects_bad_window () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "warmup >= duration"
+    (Invalid_argument "measure_conns: warmup >= duration") (fun () ->
+      ignore (C.measure_conns ~sim ~warmup:10. ~duration:10. []))
+
+let test_measure_conns_goodput () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:1 in
+  let q = Queue.create ~sim ~rng ~rate_bps:10e6 ~buffer_pkts:100
+      ~discipline:Queue.Droptail () in
+  let fwd = Pipe.create ~sim ~delay:0.01 and rv = Pipe.create ~sim ~delay:0.01 in
+  let conn =
+    Tcp.create ~sim ~cc:(Mptcp_repro.Cc.Reno.create ())
+      ~paths:[| { Tcp.fwd = [| Queue.hop q; Pipe.hop fwd |];
+                  rev = [| Pipe.hop rv |] } |]
+      ~flow_id:0 ()
+  in
+  match C.measure_conns ~sim ~warmup:5. ~duration:20. [ conn ] with
+  | [ m ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "goodput %.1f near 10" m.C.goodput_mbps)
+      true
+      (m.C.goodput_mbps > 8. && m.C.goodput_mbps < 10.5);
+    check_close 1e-6 "pps consistent" (m.C.goodput_mbps *. 1e6 /. 12000.)
+      m.C.goodput_pps
+  | _ -> Alcotest.fail "expected one measurement"
+
+let suite =
+  [
+    Alcotest.test_case "common: mean" `Quick test_mean;
+    Alcotest.test_case "common: split_at" `Quick test_split_at;
+    Alcotest.test_case "common: buffer scaling" `Quick test_buffer_scaling;
+    Alcotest.test_case "common: red profile" `Quick test_red_for;
+    Alcotest.test_case "common: paper constants" `Quick test_paper_constants;
+    Alcotest.test_case "common: cc factory" `Quick test_factory;
+    Alcotest.test_case "common: bad measurement window" `Quick
+      test_measure_conns_rejects_bad_window;
+    Alcotest.test_case "common: goodput measurement" `Quick
+      test_measure_conns_goodput;
+  ]

@@ -1,0 +1,324 @@
+open Mptcp_repro.Fluid
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* A two-link network shared by one two-path user and two single-path
+   users (the Fig. 6 shape). *)
+let two_bottleneck ?(c1 = 100.) ?(c2 = 100.) ?(rtt = 0.1) () =
+  let link c = Network_model.link ~sharpness:12. ~scale:0.05 c in
+  {
+    Network_model.links = [| link c1; link c2 |];
+    users =
+      [|
+        {
+          Network_model.routes =
+            [|
+              { Network_model.links = [| 0 |]; rtt };
+              { Network_model.links = [| 1 |]; rtt };
+            |];
+        };
+        { Network_model.routes = [| { Network_model.links = [| 0 |]; rtt } |] };
+        { Network_model.routes = [| { Network_model.links = [| 1 |]; rtt } |] };
+      |];
+  }
+
+(* --- Network_model -------------------------------------------------- *)
+
+let test_validate_rejects_bad_link_ref () =
+  let net =
+    {
+      Network_model.links = [| Network_model.link 10. |];
+      users =
+        [| { Network_model.routes = [| { Network_model.links = [| 3 |]; rtt = 0.1 } |] } |];
+    }
+  in
+  Alcotest.check_raises "bad ref"
+    (Invalid_argument "Network_model: route references unknown link")
+    (fun () -> Network_model.validate net)
+
+let test_validate_rejects_empty_user () =
+  let net =
+    {
+      Network_model.links = [| Network_model.link 10. |];
+      users = [| { Network_model.routes = [||] } |];
+    }
+  in
+  Alcotest.check_raises "no route"
+    (Invalid_argument "Network_model: user with no route") (fun () ->
+      Network_model.validate net)
+
+let test_link_loads () =
+  let net = two_bottleneck () in
+  let x = [| [| 1.; 2. |]; [| 4. |]; [| 8. |] |] in
+  let loads = Network_model.link_loads net x in
+  check_close 1e-9 "link0" 5. loads.(0);
+  check_close 1e-9 "link1" 10. loads.(1)
+
+let test_link_loss_monotone () =
+  let l = Network_model.link 100. in
+  Alcotest.(check bool) "zero at zero" true (Network_model.link_loss l 0. = 0.);
+  Alcotest.(check bool) "increasing" true
+    (Network_model.link_loss l 90. < Network_model.link_loss l 110.);
+  check_close 1e-9 "scale at capacity" 0.05 (Network_model.link_loss l 100.);
+  check_close 1e-9 "clamped at 1" 1. (Network_model.link_loss l 1e9)
+
+let test_route_losses_sum () =
+  let net =
+    {
+      Network_model.links =
+        [| Network_model.link 100.; Network_model.link 100. |];
+      users =
+        [|
+          { Network_model.routes = [| { Network_model.links = [| 0; 1 |]; rtt = 0.1 } |] };
+        |];
+    }
+  in
+  let p = [| 0.01; 0.02 |] in
+  let route_p = Network_model.route_losses net p in
+  check_close 1e-12 "sum approximation" 0.03 route_p.(0).(0)
+
+let test_congestion_cost_increasing () =
+  let net = two_bottleneck () in
+  let x1 = [| [| 10.; 10. |]; [| 10. |]; [| 10. |] |] in
+  let x2 = [| [| 50.; 50. |]; [| 50. |]; [| 50. |] |] in
+  Alcotest.(check bool) "cost grows with load" true
+    (Network_model.congestion_cost net x1 < Network_model.congestion_cost net x2)
+
+let test_utility_v_increasing_in_rate () =
+  let net = two_bottleneck () in
+  let x1 = [| [| 10.; 10. |]; [| 10. |]; [| 10. |] |] in
+  let x2 = [| [| 20.; 20. |]; [| 10. |]; [| 10. |] |] in
+  (* at low load the −1/Σx term dominates: more rate is better *)
+  Alcotest.(check bool) "V increasing" true
+    (Network_model.utility_v net x1 < Network_model.utility_v net x2)
+
+(* --- Equilibrium ----------------------------------------------------- *)
+
+let test_uncoupled_symmetric () =
+  let net = two_bottleneck () in
+  let x = Equilibrium.solve net Uncoupled in
+  (* by symmetry, the multipath user's two routes carry the same rate *)
+  check_close 1e-3 "symmetric" x.(0).(0) x.(0).(1);
+  (* each link carries roughly its capacity at the equilibrium point *)
+  let loads = Network_model.link_loads net x in
+  Alcotest.(check bool) "links loaded near capacity" true
+    (loads.(0) > 60. && loads.(0) < 140.)
+
+let test_olia_balanced_ties () =
+  let net = two_bottleneck () in
+  let x = Equilibrium.solve net Olia in
+  check_close 1e-3 "even split on equal paths" x.(0).(0) x.(0).(1)
+
+let test_olia_asymmetric_uses_best () =
+  (* second bottleneck much smaller: OLIA should abandon it *)
+  let net = two_bottleneck ~c2:20. () in
+  let x = Equilibrium.solve net Olia in
+  Alcotest.(check bool) "congested path unused" true
+    (x.(0).(1) < 0.01 *. x.(0).(0))
+
+let test_lia_asymmetric_keeps_both () =
+  (* LIA keeps a non-negligible share on the congested path (Eq. 2) *)
+  let net = two_bottleneck ~c2:20. () in
+  let x = Equilibrium.solve net Lia in
+  Alcotest.(check bool) "congested path still used" true
+    (x.(0).(1) > 0.05 *. x.(0).(0))
+
+let test_olia_total_equals_best_path_tcp () =
+  (* Theorem 1 (ii): the multipath total equals the best-path TCP rate *)
+  let net = two_bottleneck ~c2:20. () in
+  let x = Equilibrium.solve net Olia in
+  let loads = Network_model.link_loads net x in
+  let p0 = Network_model.link_loss net.Network_model.links.(0) loads.(0) in
+  let tcp_rate = sqrt (2. /. p0) /. 0.1 in
+  let total = x.(0).(0) +. x.(0).(1) in
+  check_close (0.05 *. tcp_rate) "goal 1" tcp_rate total
+
+let test_olia_probing_floor () =
+  let net = two_bottleneck ~c2:20. () in
+  let x = Equilibrium.solve net Olia_probing in
+  check_close 1e-6 "one packet per rtt" (1. /. 0.1) x.(0).(1)
+
+let test_equilibrium_single_tcp_user () =
+  (* one TCP user alone on a link: rate solves x = (1/rtt)·sqrt(2/p(x)) *)
+  let net =
+    {
+      Network_model.links = [| Network_model.link 100. |];
+      users =
+        [| { Network_model.routes = [| { Network_model.links = [| 0 |]; rtt = 0.1 } |] } |];
+    }
+  in
+  let x = Equilibrium.solve net Uncoupled in
+  let p = Network_model.link_loss net.Network_model.links.(0) x.(0).(0) in
+  check_close (0.01 *. x.(0).(0)) "fixed point" x.(0).(0) (sqrt (2. /. p) /. 0.1)
+
+let test_user_utilities () =
+  let net = two_bottleneck ~rtt:0.2 () in
+  let x = [| [| 2.; 2. |]; [| 4. |]; [| 4. |] |] in
+  let u = Equilibrium.user_utilities net x in
+  check_close 1e-9 "multipath" (4. /. 0.04) u.(0);
+  check_close 1e-9 "single" (4. /. 0.04) u.(1)
+
+(* --- Pareto witness (Theorem 3) -------------------------------------- *)
+
+let test_olia_fixed_point_is_pareto () =
+  let net = two_bottleneck () in
+  let x = Equilibrium.solve net Olia in
+  Alcotest.(check bool) "no dominating perturbation" true
+    (Equilibrium.pareto_witness ~trials:3000 ~seed:42 net x = None)
+
+let test_olia_asymmetric_is_pareto () =
+  let net = two_bottleneck ~c2:30. () in
+  let x = Equilibrium.solve net Olia in
+  Alcotest.(check bool) "no dominating perturbation" true
+    (Equilibrium.pareto_witness ~trials:3000 ~seed:7 net x = None)
+
+let test_pareto_witness_finds_dominated_point () =
+  (* a clearly wasteful allocation must be dominated *)
+  let net = two_bottleneck () in
+  let x = [| [| 1.; 1. |]; [| 1. |]; [| 1. |] |] in
+  Alcotest.(check bool) "witness exists" true
+    (Equilibrium.pareto_witness ~trials:2000 ~seed:3 net x <> None)
+
+(* --- OLIA fluid ODE (Theorems 3 and 4) -------------------------------- *)
+
+let test_ode_alpha_sums_to_zero () =
+  let user =
+    {
+      Network_model.routes =
+        [|
+          { Network_model.links = [| 0 |]; rtt = 0.1 };
+          { Network_model.links = [| 1 |]; rtt = 0.1 };
+          { Network_model.links = [| 1 |]; rtt = 0.1 };
+        |];
+    }
+  in
+  let alpha =
+    Olia_ode.alphas ~tolerance:0.02 user ~x:[| 10.; 5.; 1. |]
+      ~losses:[| 0.1; 0.001; 0.05 |]
+  in
+  check_close 1e-9 "sum zero" 0. (Array.fold_left ( +. ) 0. alpha);
+  (* route 1 is best but has not the max window: positive alpha *)
+  Alcotest.(check bool) "best gets positive" true (alpha.(1) > 0.);
+  (* route 0 has the max window: negative alpha *)
+  Alcotest.(check bool) "max window gets negative" true (alpha.(0) < 0.)
+
+let test_ode_alpha_zero_when_best_has_max_window () =
+  let user =
+    {
+      Network_model.routes =
+        [|
+          { Network_model.links = [| 0 |]; rtt = 0.1 };
+          { Network_model.links = [| 1 |]; rtt = 0.1 };
+        |];
+    }
+  in
+  let alpha =
+    Olia_ode.alphas ~tolerance:0.02 user ~x:[| 10.; 1. |]
+      ~losses:[| 0.001; 0.1 |]
+  in
+  check_close 1e-9 "alpha1" 0. alpha.(0);
+  check_close 1e-9 "alpha2" 0. alpha.(1)
+
+let test_ode_utility_nondecreasing () =
+  (* Theorem 4: V(x(t)) is non-decreasing under equal RTTs *)
+  let net = two_bottleneck () in
+  let x0 = Olia_ode.uniform_start net ~rate:5. in
+  let r =
+    Olia_ode.integrate
+      ~options:{ Olia_ode.default_options with t_end = 100.; dt = 1e-3 }
+      net ~x0
+  in
+  let trace = r.utility_trace in
+  let violations = ref 0 in
+  for i = 1 to Array.length trace - 1 do
+    (* allow tiny numerical wiggle *)
+    if snd trace.(i) < snd trace.(i - 1) -. 1e-3 then incr violations
+  done;
+  Alcotest.(check bool) "monotone (within tolerance)" true
+    (!violations < Array.length trace / 20)
+
+let test_ode_converges_to_equal_split () =
+  let net = two_bottleneck () in
+  (* start from a very unbalanced allocation *)
+  let x0 = [| [| 50.; 1. |]; [| 20. |]; [| 20. |] |] in
+  let r =
+    Olia_ode.integrate
+      ~options:{ Olia_ode.default_options with t_end = 300. }
+      net ~x0
+  in
+  let a = r.rates.(0).(0) and b = r.rates.(0).(1) in
+  Alcotest.(check bool) "splits roughly evenly" true
+    (abs_float (a -. b) < 0.3 *. (a +. b))
+
+let test_ode_abandons_congested_path () =
+  let net = two_bottleneck ~c2:10. () in
+  let x0 = Olia_ode.uniform_start net ~rate:5. in
+  let r =
+    Olia_ode.integrate
+      ~options:{ Olia_ode.default_options with t_end = 300.; min_rate = 1e-3 }
+      net ~x0
+  in
+  Alcotest.(check bool) "congested path near floor" true
+    (r.rates.(0).(1) < 0.05 *. r.rates.(0).(0))
+
+let test_ode_matches_equilibrium_solver () =
+  let net = two_bottleneck () in
+  let x_eq = Equilibrium.solve net Olia in
+  let r =
+    Olia_ode.integrate
+      ~options:{ Olia_ode.default_options with t_end = 300. }
+      net
+      ~x0:(Olia_ode.uniform_start net ~rate:5.)
+  in
+  let total_eq = x_eq.(0).(0) +. x_eq.(0).(1) in
+  let total_ode = r.rates.(0).(0) +. r.rates.(0).(1) in
+  check_close (0.15 *. total_eq) "cross-validation" total_eq total_ode
+
+let suite =
+  [
+    Alcotest.test_case "model: rejects unknown link" `Quick
+      test_validate_rejects_bad_link_ref;
+    Alcotest.test_case "model: rejects user with no route" `Quick
+      test_validate_rejects_empty_user;
+    Alcotest.test_case "model: link loads" `Quick test_link_loads;
+    Alcotest.test_case "model: loss curve monotone" `Quick
+      test_link_loss_monotone;
+    Alcotest.test_case "model: route losses sum" `Quick test_route_losses_sum;
+    Alcotest.test_case "model: congestion cost increasing" `Quick
+      test_congestion_cost_increasing;
+    Alcotest.test_case "model: utility V increasing at low load" `Quick
+      test_utility_v_increasing_in_rate;
+    Alcotest.test_case "equilibrium: uncoupled symmetric" `Quick
+      test_uncoupled_symmetric;
+    Alcotest.test_case "equilibrium: OLIA even tie split" `Quick
+      test_olia_balanced_ties;
+    Alcotest.test_case "equilibrium: OLIA abandons congested path" `Quick
+      test_olia_asymmetric_uses_best;
+    Alcotest.test_case "equilibrium: LIA keeps congested path" `Quick
+      test_lia_asymmetric_keeps_both;
+    Alcotest.test_case "equilibrium: Theorem 1(ii) total rate" `Quick
+      test_olia_total_equals_best_path_tcp;
+    Alcotest.test_case "equilibrium: probing floor" `Quick
+      test_olia_probing_floor;
+    Alcotest.test_case "equilibrium: single TCP fixed point" `Quick
+      test_equilibrium_single_tcp_user;
+    Alcotest.test_case "equilibrium: user utilities" `Quick test_user_utilities;
+    Alcotest.test_case "Theorem 3: OLIA point is Pareto (symmetric)" `Slow
+      test_olia_fixed_point_is_pareto;
+    Alcotest.test_case "Theorem 3: OLIA point is Pareto (asymmetric)" `Slow
+      test_olia_asymmetric_is_pareto;
+    Alcotest.test_case "Theorem 3: witness finds dominated point" `Quick
+      test_pareto_witness_finds_dominated_point;
+    Alcotest.test_case "Eq. 6: alpha sums to zero" `Quick
+      test_ode_alpha_sums_to_zero;
+    Alcotest.test_case "Eq. 6: alpha zero when B inside M" `Quick
+      test_ode_alpha_zero_when_best_has_max_window;
+    Alcotest.test_case "Theorem 4: utility non-decreasing" `Slow
+      test_ode_utility_nondecreasing;
+    Alcotest.test_case "ODE: converges to even split" `Slow
+      test_ode_converges_to_equal_split;
+    Alcotest.test_case "ODE: abandons congested path" `Slow
+      test_ode_abandons_congested_path;
+    Alcotest.test_case "ODE: matches equilibrium solver" `Slow
+      test_ode_matches_equilibrium_solver;
+  ]

@@ -1,0 +1,493 @@
+open Mptcp_repro.Fluid
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Roots ---------------------------------------------------------- *)
+
+let test_bisect_sqrt2 () =
+  let r = Roots.bisect ~f:(fun x -> (x *. x) -. 2.) 0. 2. in
+  check_close 1e-9 "sqrt 2" (sqrt 2.) r
+
+let test_bisect_endpoint_root () =
+  check_close 1e-12 "root at lo" 0. (Roots.bisect ~f:(fun x -> x) 0. 1.);
+  check_close 1e-12 "root at hi" 1.
+    (Roots.bisect ~f:(fun x -> x -. 1.) 0. 1.)
+
+let test_bisect_no_sign_change () =
+  Alcotest.check_raises "raises"
+    (Invalid_argument "Roots.bisect: no sign change on the interval")
+    (fun () -> ignore (Roots.bisect ~f:(fun x -> (x *. x) +. 1.) 0. 1.))
+
+let test_increasing_root () =
+  let r = Roots.find_increasing_root ~f:(fun x -> log x) () in
+  check_close 1e-9 "log root" 1. r;
+  let r = Roots.find_increasing_root ~f:(fun x -> x -. 1e6) () in
+  check_close 1e-3 "large root" 1e6 r;
+  let r = Roots.find_increasing_root ~f:(fun x -> x -. 1e-6) () in
+  check_close 1e-12 "small root" 1e-6 r
+
+let test_newton () =
+  let r = Roots.newton ~f:(fun x -> (x *. x) -. 2.) ~df:(fun x -> 2. *. x) 1. in
+  check_close 1e-9 "sqrt 2" (sqrt 2.) r
+
+let test_newton_zero_derivative () =
+  Alcotest.check_raises "raises" (Failure "Roots.newton: zero derivative")
+    (fun () ->
+      ignore (Roots.newton ~f:(fun x -> (x *. x) +. 1.) ~df:(fun _ -> 0.) 0.))
+
+let test_poly_eval () =
+  (* 1 + 2x + 3x² at x = 2 → 17 *)
+  check_close 1e-12 "horner" 17. (Roots.poly_eval [| 1.; 2.; 3. |] 2.)
+
+let test_poly_derivative () =
+  let d = Roots.poly_derivative [| 1.; 2.; 3. |] in
+  check_close 1e-12 "d at 2" 14. (Roots.poly_eval d 2.)
+
+let test_positive_poly_root () =
+  (* z³ + z² + z − 3 has root 1 *)
+  check_close 1e-9 "cubic" 1. (Roots.positive_poly_root [| -3.; 1.; 1.; 1. |])
+
+let prop_positive_poly_root_is_root =
+  QCheck.Test.make ~name:"roots: positive_poly_root satisfies p(z)=0"
+    ~count:200
+    QCheck.(
+      quad (float_range 0.1 50.) (float_range 0. 5.) (float_range 0. 5.)
+        (float_range 0.1 5.))
+    (fun (c0, c1, c2, c3) ->
+      let coeffs = [| -.c0; c1; c2; c3 |] in
+      let z = Roots.positive_poly_root coeffs in
+      z > 0. && abs_float (Roots.poly_eval coeffs z) < 1e-6 *. (1. +. c0))
+
+(* --- Units ---------------------------------------------------------- *)
+
+let test_units_roundtrip () =
+  check_close 1e-9 "roundtrip" 7.5 (Units.mbps_of_pps (Units.pps_of_mbps 7.5));
+  (* 1 Mb/s = 10^6 / 12000 packets of 1500 B *)
+  check_close 1e-9 "1 Mbps" (1e6 /. 12000.) (Units.pps_of_mbps 1.);
+  check_close 1e-9 "probe" (1. /. 0.15) (Units.probe_rate ~rtt:0.15)
+
+(* --- Tcp_model ------------------------------------------------------ *)
+
+let test_tcp_rate_formula () =
+  let p = { Tcp_model.loss = 0.02; rtt = 0.1 } in
+  check_close 1e-9 "rate" (10. *. sqrt 100.) (Tcp_model.tcp_rate p)
+
+let test_tcp_rate_zero_loss () =
+  Alcotest.(check bool) "infinite" true
+    (Tcp_model.tcp_rate { Tcp_model.loss = 0.; rtt = 0.1 } = infinity)
+
+let test_tcp_loss_inverse () =
+  let rtt = 0.15 in
+  let rate = 100. in
+  let p = Tcp_model.tcp_loss_for_rate ~rtt rate in
+  check_close 1e-6 "inverse" rate (Tcp_model.tcp_rate { Tcp_model.loss = p; rtt })
+
+let test_best_path_rate () =
+  let paths =
+    [
+      { Tcp_model.loss = 0.01; rtt = 0.1 };
+      { Tcp_model.loss = 0.001; rtt = 0.1 };
+    ]
+  in
+  check_close 1e-9 "best" (Tcp_model.tcp_rate (List.nth paths 1))
+    (Tcp_model.best_path_rate paths)
+
+let test_lia_rates_equal_paths () =
+  (* two identical paths: equal windows, total = best-path TCP rate *)
+  let p = { Tcp_model.loss = 0.01; rtt = 0.1 } in
+  match Tcp_model.lia_rates [ p; p ] with
+  | [ a; b ] ->
+    check_close 1e-9 "equal" a b;
+    check_close 1e-6 "total" (Tcp_model.tcp_rate p) (a +. b)
+  | _ -> Alcotest.fail "expected two rates"
+
+let test_lia_rates_window_proportionality () =
+  (* Eq. 2: windows proportional to 1/p *)
+  let p1 = { Tcp_model.loss = 0.01; rtt = 0.1 } in
+  let p2 = { Tcp_model.loss = 0.02; rtt = 0.1 } in
+  match Tcp_model.lia_rates [ p1; p2 ] with
+  | [ a; b ] -> check_close 1e-9 "x1 = 2 x2" a (2. *. b)
+  | _ -> Alcotest.fail "expected two rates"
+
+let test_olia_rates_best_only () =
+  let good = { Tcp_model.loss = 0.001; rtt = 0.1 } in
+  let bad = { Tcp_model.loss = 0.1; rtt = 0.1 } in
+  match Tcp_model.olia_rates [ bad; good ] with
+  | [ a; b ] ->
+    check_close 1e-9 "bad unused" 0. a;
+    check_close 1e-6 "best-path total" (Tcp_model.tcp_rate good) b
+  | _ -> Alcotest.fail "expected two rates"
+
+let test_olia_rates_tie_split () =
+  let p = { Tcp_model.loss = 0.01; rtt = 0.1 } in
+  match Tcp_model.olia_rates [ p; p ] with
+  | [ a; b ] ->
+    check_close 1e-9 "even split" a b;
+    check_close 1e-6 "total" (Tcp_model.tcp_rate p) (a +. b)
+  | _ -> Alcotest.fail "expected two rates"
+
+let test_olia_probing () =
+  let good = { Tcp_model.loss = 0.001; rtt = 0.1 } in
+  let bad = { Tcp_model.loss = 0.1; rtt = 0.2 } in
+  match Tcp_model.olia_rates_with_probing [ good; bad ] with
+  | [ a; b ] ->
+    check_close 1e-9 "probe on bad" (1. /. 0.2) b;
+    Alcotest.(check bool) "good path pays the probe" true
+      (a < Tcp_model.tcp_rate good)
+  | _ -> Alcotest.fail "expected two rates"
+
+let prop_lia_total_equals_best =
+  QCheck.Test.make
+    ~name:"tcp_model: LIA total = best-path rate (equal rtt, Eq. 2)"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 6) (float_range 0.001 0.3))
+    (fun losses ->
+      let paths = List.map (fun l -> { Tcp_model.loss = l; rtt = 0.2 }) losses in
+      let total = List.fold_left ( +. ) 0. (Tcp_model.lia_rates paths) in
+      let best = Tcp_model.best_path_rate paths in
+      abs_float (total -. best) < 1e-6 *. best)
+
+let prop_olia_uses_only_best =
+  QCheck.Test.make ~name:"tcp_model: OLIA sends only on best paths (Thm 1)"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (pair (float_range 0.001 0.3) (float_range 0.01 0.5)))
+    (fun specs ->
+      let paths =
+        List.map (fun (l, r) -> { Tcp_model.loss = l; rtt = r }) specs
+      in
+      let best = Tcp_model.best_path_rate paths in
+      let rates = Tcp_model.olia_rates paths in
+      List.for_all2
+        (fun p x ->
+          x = 0. || Tcp_model.tcp_rate p >= best *. (1. -. 1e-6))
+        paths rates)
+
+(* --- Scenario A ----------------------------------------------------- *)
+
+let scen_a c1 c2 n1 n2 =
+  { Scenario_a.n1; n2; c1 = Units.pps_of_mbps c1; c2 = Units.pps_of_mbps c2;
+    rtt = 0.15 }
+
+let test_scenario_a_type1_capped () =
+  let pt = Scenario_a.lia (scen_a 1. 1. 10 10) in
+  check_close 1e-9 "normalized type1 is 1" 1. pt.norm_type1;
+  check_close 1e-6 "x1+x2 = C1" (Units.pps_of_mbps 1.) (pt.x1 +. pt.x2)
+
+let test_scenario_a_eq10 () =
+  (* the root z satisfies Eq. (10) *)
+  let params = scen_a 1. 1. 20 10 in
+  let pt = Scenario_a.lia params in
+  let z = pt.z in
+  let lhs = z +. (z *. z /. (1. +. (2. *. z *. z)) *. 2.) in
+  check_close 1e-9 "Eq 10" 1. lhs
+
+let test_scenario_a_paper_trend () =
+  (* Fig. 1(b): type-2 throughput decreases as N1/N2 grows; about 30% loss
+     at N1=N2 and 50-60% at N1=3N2 for C1/C2 = 1 *)
+  let r1 = Scenario_a.lia (scen_a 1. 1. 10 10) in
+  let r2 = Scenario_a.lia (scen_a 1. 1. 20 10) in
+  let r3 = Scenario_a.lia (scen_a 1. 1. 30 10) in
+  Alcotest.(check bool) "decreasing" true
+    (r1.norm_type2 > r2.norm_type2 && r2.norm_type2 > r3.norm_type2);
+  Alcotest.(check bool) "~30% at N1=N2" true
+    (r1.norm_type2 > 0.65 && r1.norm_type2 < 0.80);
+  Alcotest.(check bool) "50-60% at N1=3N2" true
+    (r3.norm_type2 > 0.40 && r3.norm_type2 < 0.55)
+
+let test_scenario_a_depends_only_on_ratios () =
+  let a = Scenario_a.lia (scen_a 1. 2. 10 10) in
+  let b = Scenario_a.lia (scen_a 3. 6. 30 30) in
+  check_close 1e-9 "scale invariant" a.norm_type2 b.norm_type2
+
+let test_scenario_a_optimum () =
+  let params = scen_a 1. 1. 30 10 in
+  let o = Scenario_a.optimum_with_probing params in
+  (* y = C2 − 3·probe; probe = 1/rtt pkts/s *)
+  let expected = Units.pps_of_mbps 1. -. (3. /. 0.15) in
+  check_close 1e-6 "type2" expected o.type2_total;
+  Alcotest.(check bool) "optimum beats LIA" true
+    (o.norm2 > (Scenario_a.lia params).norm_type2)
+
+let test_scenario_a_p1_depends_on_c1 () =
+  (* measured p1 in the paper: ~0.02, 0.009, 0.004 for C1 = 0.75, 1, 1.5 *)
+  let p c1 = (Scenario_a.lia (scen_a c1 1. 10 10)).p1 in
+  check_close 0.01 "C1=0.75" 0.02 (p 0.75);
+  check_close 0.005 "C1=1" 0.009 (p 1.);
+  check_close 0.003 "C1=1.5" 0.004 (p 1.5)
+
+let test_scenario_a_invalid () =
+  Alcotest.check_raises "n1=0"
+    (Invalid_argument "Scenario_a: user counts must be > 0") (fun () ->
+      ignore (Scenario_a.lia (scen_a 1. 1. 0 10)))
+
+(* --- Scenario C ----------------------------------------------------- *)
+
+let scen_c c1 c2 n1 n2 =
+  { Scenario_c.n1; n2; c1 = Units.pps_of_mbps c1; c2 = Units.pps_of_mbps c2;
+    rtt = 0.15 }
+
+let test_scenario_c_threshold () =
+  check_close 1e-9 "1/(2+1)" (1. /. 3.) (Scenario_c.threshold (scen_c 1. 1. 10 10));
+  check_close 1e-9 "1/(2+3)" 0.2 (Scenario_c.threshold (scen_c 1. 1. 30 10))
+
+let test_scenario_c_balanced_regime () =
+  (* C1/C2 well below the threshold: everyone gets the fair share *)
+  let params = scen_c 0.2 1. 10 10 in
+  let pt = Scenario_c.lia params in
+  Alcotest.(check bool) "regime" true (pt.regime = Scenario_c.Balanced);
+  let fair = Scenario_c.fair_share params in
+  check_close 1e-6 "multipath total" fair (pt.x1 +. pt.x2);
+  check_close 1e-6 "single" fair pt.y
+
+let test_scenario_c_cubic_regime () =
+  let params = scen_c 1. 1. 10 10 in
+  let pt = Scenario_c.lia params in
+  Alcotest.(check bool) "regime" true (pt.regime = Scenario_c.Ap1_better);
+  (* z is the positive root of z³ + (N1/N2)z² + z − C2/C1 *)
+  let z = pt.z in
+  check_close 1e-9 "cubic satisfied" 1.
+    ((z ** 3.) +. (z *. z) +. z -. 1. +. 1.);
+  check_close 1e-9 "norm multipath 1+z²" (1. +. (z *. z)) pt.norm_multipath
+
+let test_scenario_c_aggressiveness () =
+  (* Fig. 5(b): at C1 = C2, LIA multipath users take much more than fair *)
+  let pt = Scenario_c.lia (scen_c 1. 1. 10 10) in
+  Alcotest.(check bool) "multipath > 1.25" true (pt.norm_multipath > 1.25);
+  Alcotest.(check bool) "single < 0.75" true (pt.norm_single < 0.75)
+
+let test_scenario_c_fair_below_third () =
+  (* LIA is fair to TCP users as long as C1 < C2/3 (paper §III-C) *)
+  let pt = Scenario_c.lia (scen_c 0.30 1. 10 10) in
+  check_close 0.02 "single keeps fair share"
+    (Scenario_c.fair_share (scen_c 0.30 1. 10 10) /. Units.pps_of_mbps 1.)
+    pt.norm_single
+
+let test_scenario_c_optimum () =
+  let params = scen_c 2. 1. 10 10 in
+  let o = Scenario_c.optimum_with_probing params in
+  (* C1 > C2: multipath should only probe AP2 *)
+  check_close 1e-6 "multipath = C1 + probe"
+    (Units.pps_of_mbps 2. +. (1. /. 0.15))
+    o.multipath_total;
+  check_close 1e-6 "single = C2 − probe"
+    (Units.pps_of_mbps 1. -. (1. /. 0.15))
+    o.single_total
+
+let test_scenario_c_optimum_pooling () =
+  (* C1 << C2: pooling helps, everyone gets the fair share *)
+  let params = scen_c 0.2 1. 10 10 in
+  let o = Scenario_c.optimum_with_probing params in
+  let fair = Scenario_c.fair_share params in
+  check_close 1e-6 "multipath fair" fair o.multipath_total;
+  check_close 1e-6 "single fair" fair o.single_total
+
+let test_scenario_c_continuity_at_threshold () =
+  (* the two regimes agree near C1/C2 = 1/(2+N1/N2) *)
+  let eps = 1e-6 in
+  let below = Scenario_c.lia (scen_c (1. /. 3. -. eps) 1. 10 10) in
+  let above = Scenario_c.lia (scen_c (1. /. 3. +. eps) 1. 10 10) in
+  check_close 1e-3 "continuous" below.norm_single above.norm_single
+
+let prop_scenario_c_single_decreasing_in_n1 =
+  QCheck.Test.make
+    ~name:"scenario C: single-path throughput decreases with N1" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (na, nb) ->
+      let na, nb = (Stdlib.min na nb, Stdlib.max na nb) in
+      na = nb
+      ||
+      let ra = Scenario_c.lia (scen_c 1. 1. na 10) in
+      let rb = Scenario_c.lia (scen_c 1. 1. nb 10) in
+      ra.norm_single >= rb.norm_single -. 1e-9)
+
+(* --- Scenario B ----------------------------------------------------- *)
+
+let scen_b cx ct =
+  { Scenario_b.n = 15; cx = Units.pps_of_mbps cx; ct = Units.pps_of_mbps ct;
+    rtt = 0.15 }
+
+let test_scenario_b_regime_boundary () =
+  (* CX/CT = 5/9 separates the two regimes *)
+  let at_boundary = Scenario_b.lia_red_multipath (scen_b 5. 9.) in
+  check_close 0.02 "px = pt at boundary" 1.
+    (at_boundary.px /. at_boundary.pt);
+  let x_congested = Scenario_b.lia_red_multipath (scen_b 3. 9.) in
+  Alcotest.(check bool) "x regime" true
+    (x_congested.regime = Scenario_b.X_more_congested);
+  let t_congested = Scenario_b.lia_red_multipath (scen_b 27. 36.) in
+  Alcotest.(check bool) "t regime" true
+    (t_congested.regime = Scenario_b.T_more_congested)
+
+let test_scenario_b_capacity_constraints () =
+  (* the fixed point saturates both bottlenecks *)
+  let params = scen_b 27. 36. in
+  let pt = Scenario_b.lia_red_multipath params in
+  let n = 15. in
+  check_close 1e-3 "CX" (Units.pps_of_mbps 27.) (n *. (pt.x1 +. pt.y1));
+  check_close 1e-3 "CT" (Units.pps_of_mbps 36.)
+    (n *. (pt.x2 +. pt.y1 +. pt.y2))
+
+let test_scenario_b_table1_values () =
+  (* Table I: single-path blue 2.5, red 1.5; multipath blue 2.0, red 1.4;
+     aggregate drop ≈ 13% *)
+  let params = scen_b 27. 36. in
+  let sp = Scenario_b.lia_red_singlepath params in
+  let mp = Scenario_b.lia_red_multipath params in
+  check_close 0.25 "sp blue" 2.5 (Units.mbps_of_pps sp.blue_total);
+  check_close 0.25 "sp red" 1.5 (Units.mbps_of_pps sp.red_total);
+  check_close 0.25 "mp blue" 2.0 (Units.mbps_of_pps mp.blue_total);
+  check_close 0.3 "mp red" 1.4 (Units.mbps_of_pps mp.red_total);
+  let drop = 1. -. (mp.aggregate /. sp.aggregate) in
+  Alcotest.(check bool) "aggregate drops 10-20%" true
+    (drop > 0.10 && drop < 0.20)
+
+let test_scenario_b_upgrade_hurts_everyone () =
+  (* P1: upgrading Red users reduces everyone's throughput (Fig. 4a) *)
+  List.iter
+    (fun cx ->
+      let params = scen_b cx 36. in
+      let sp = Scenario_b.lia_red_singlepath params in
+      let mp = Scenario_b.lia_red_multipath params in
+      Alcotest.(check bool) "blue hurt" true
+        (mp.blue_total < sp.blue_total +. 1e-9);
+      Alcotest.(check bool) "aggregate hurt" true
+        (mp.aggregate < sp.aggregate +. 1e-9))
+    [ 10.; 18.; 27.; 36. ]
+
+let test_scenario_b_optimum_small_loss () =
+  (* with an optimal algorithm the upgrade costs only the probing traffic *)
+  let params = scen_b 27. 36. in
+  let o_sp = Scenario_b.optimum_red_singlepath params in
+  let o_mp = Scenario_b.optimum_red_multipath params in
+  let drop = 1. -. (o_mp.aggregate /. o_sp.aggregate) in
+  Alcotest.(check bool) "drop below 5%" true (drop >= 0. && drop < 0.05);
+  (* paper: ≈3% at 150 ms *)
+  check_close 0.02 "~3%" 0.03 drop
+
+let test_scenario_b_optimum_probing_overhead_formula () =
+  (* Appendix B: the aggregate decreases exactly by N·MSS/rtt *)
+  let params = scen_b 20. 36. in
+  let o_sp = Scenario_b.optimum_red_singlepath params in
+  let o_mp = Scenario_b.optimum_red_multipath params in
+  check_close 1e-6 "N/rtt" (15. /. 0.15) (o_sp.aggregate -. o_mp.aggregate)
+
+let test_scenario_b_normalized () =
+  let params = scen_b 27. 36. in
+  let mp = Scenario_b.lia_red_multipath params in
+  let blue, red =
+    Scenario_b.normalized params
+      { Scenario_b.blue_total = mp.blue_total; red_total = mp.red_total;
+        aggregate = mp.aggregate }
+  in
+  check_close 1e-9 "blue" (mp.blue_total /. (Units.pps_of_mbps 36. /. 15.)) blue;
+  Alcotest.(check bool) "red smaller" true (red < blue)
+
+let prop_scenario_b_aggregate_increases_with_cx =
+  QCheck.Test.make ~name:"scenario B: aggregate grows with CX" ~count:50
+    QCheck.(pair (float_range 5. 50.) (float_range 5. 50.))
+    (fun (a, b) ->
+      let a, b = (Stdlib.min a b, Stdlib.max a b) in
+      b -. a < 0.5
+      ||
+      let ra = Scenario_b.lia_red_multipath (scen_b a 36.) in
+      let rb = Scenario_b.lia_red_multipath (scen_b b 36.) in
+      rb.aggregate >= ra.aggregate -. 1e-6)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "roots: bisect sqrt2" `Quick test_bisect_sqrt2;
+    Alcotest.test_case "roots: bisect endpoints" `Quick test_bisect_endpoint_root;
+    Alcotest.test_case "roots: bisect rejects same sign" `Quick
+      test_bisect_no_sign_change;
+    Alcotest.test_case "roots: auto-bracketed root" `Quick test_increasing_root;
+    Alcotest.test_case "roots: newton" `Quick test_newton;
+    Alcotest.test_case "roots: newton zero derivative" `Quick
+      test_newton_zero_derivative;
+    Alcotest.test_case "roots: horner eval" `Quick test_poly_eval;
+    Alcotest.test_case "roots: derivative" `Quick test_poly_derivative;
+    Alcotest.test_case "roots: positive poly root" `Quick test_positive_poly_root;
+    q prop_positive_poly_root_is_root;
+    Alcotest.test_case "units: conversions" `Quick test_units_roundtrip;
+    Alcotest.test_case "tcp_model: rate formula" `Quick test_tcp_rate_formula;
+    Alcotest.test_case "tcp_model: zero loss" `Quick test_tcp_rate_zero_loss;
+    Alcotest.test_case "tcp_model: loss inverse" `Quick test_tcp_loss_inverse;
+    Alcotest.test_case "tcp_model: best path" `Quick test_best_path_rate;
+    Alcotest.test_case "tcp_model: LIA equal paths" `Quick
+      test_lia_rates_equal_paths;
+    Alcotest.test_case "tcp_model: LIA window proportionality" `Quick
+      test_lia_rates_window_proportionality;
+    Alcotest.test_case "tcp_model: OLIA best only" `Quick
+      test_olia_rates_best_only;
+    Alcotest.test_case "tcp_model: OLIA tie split" `Quick
+      test_olia_rates_tie_split;
+    Alcotest.test_case "tcp_model: OLIA probing" `Quick test_olia_probing;
+    q prop_lia_total_equals_best;
+    q prop_olia_uses_only_best;
+    Alcotest.test_case "scenario A: type1 capped at C1" `Quick
+      test_scenario_a_type1_capped;
+    Alcotest.test_case "scenario A: Eq. 10 satisfied" `Quick test_scenario_a_eq10;
+    Alcotest.test_case "scenario A: Fig. 1(b) trend" `Quick
+      test_scenario_a_paper_trend;
+    Alcotest.test_case "scenario A: ratio invariance" `Quick
+      test_scenario_a_depends_only_on_ratios;
+    Alcotest.test_case "scenario A: optimum with probing" `Quick
+      test_scenario_a_optimum;
+    Alcotest.test_case "scenario A: p1 vs C1 (paper values)" `Quick
+      test_scenario_a_p1_depends_on_c1;
+    Alcotest.test_case "scenario A: invalid params" `Quick test_scenario_a_invalid;
+    Alcotest.test_case "scenario C: threshold" `Quick test_scenario_c_threshold;
+    Alcotest.test_case "scenario C: balanced regime" `Quick
+      test_scenario_c_balanced_regime;
+    Alcotest.test_case "scenario C: cubic regime" `Quick test_scenario_c_cubic_regime;
+    Alcotest.test_case "scenario C: aggressiveness (P2)" `Quick
+      test_scenario_c_aggressiveness;
+    Alcotest.test_case "scenario C: fair below C2/3" `Quick
+      test_scenario_c_fair_below_third;
+    Alcotest.test_case "scenario C: optimum, C1 > C2" `Quick test_scenario_c_optimum;
+    Alcotest.test_case "scenario C: optimum pools when C1 << C2" `Quick
+      test_scenario_c_optimum_pooling;
+    Alcotest.test_case "scenario C: regimes continuous" `Quick
+      test_scenario_c_continuity_at_threshold;
+    q prop_scenario_c_single_decreasing_in_n1;
+    Alcotest.test_case "scenario B: regime boundary 5/9" `Quick
+      test_scenario_b_regime_boundary;
+    Alcotest.test_case "scenario B: capacity constraints hold" `Quick
+      test_scenario_b_capacity_constraints;
+    Alcotest.test_case "scenario B: Table I values" `Quick
+      test_scenario_b_table1_values;
+    Alcotest.test_case "scenario B: upgrade hurts everyone (P1)" `Quick
+      test_scenario_b_upgrade_hurts_everyone;
+    Alcotest.test_case "scenario B: optimum loses only 3%" `Quick
+      test_scenario_b_optimum_small_loss;
+    Alcotest.test_case "scenario B: probing overhead formula" `Quick
+      test_scenario_b_optimum_probing_overhead_formula;
+    Alcotest.test_case "scenario B: normalization" `Quick test_scenario_b_normalized;
+    q prop_scenario_b_aggregate_increases_with_cx;
+  ]
+
+let test_scenario_b_quadratic_closed_form () =
+  (* in the X-more-congested regime the numeric ratio px/pt is the
+     positive root of the paper's Appendix-B quadratic *)
+  List.iter
+    (fun cx ->
+      let params = scen_b cx 36. in
+      let pt = Scenario_b.lia_red_multipath params in
+      match pt.regime with
+      | Scenario_b.X_more_congested ->
+        let rho = 36. /. cx in
+        let s = pt.px /. pt.pt in
+        check_close 1e-6 "root of the quadratic" 0.
+          (Roots.poly_eval (Scenario_b.x_congested_quadratic ~rho) s)
+      | Scenario_b.T_more_congested -> Alcotest.fail "expected X regime")
+    [ 4.; 10.; 16. ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "scenario B: Appendix-B quadratic" `Quick
+        test_scenario_b_quadratic_closed_form;
+    ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "mptcp_repro"
+    [
+      ("stats", Test_stats.suite);
+      ("fluid", Test_fluid.suite);
+      ("equilibrium", Test_equilibrium.suite);
+      ("cc", Test_cc.suite);
+      ("netsim", Test_netsim.suite);
+      ("tcp", Test_tcp.suite);
+      ("topology", Test_topology.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("infra", Test_infra.suite);
+      ("failure", Test_failure.suite);
+      ("common", Test_common.suite);
+    ]

@@ -1,0 +1,301 @@
+open Mptcp_repro.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Summary -------------------------------------------------------- *)
+
+let test_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean s));
+  check_float "ci" 0. (Summary.ci95_halfwidth s)
+
+let test_single () =
+  let s = Summary.of_list [ 42. ] in
+  check_float "mean" 42. (Summary.mean s);
+  check_float "min" 42. (Summary.min s);
+  check_float "max" 42. (Summary.max s);
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Summary.variance s))
+
+let test_known_values () =
+  let s = Summary.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check_float "mean" 5. (Summary.mean s);
+  check_close 1e-9 "variance" (32. /. 7.) (Summary.variance s);
+  check_float "sum" 40. (Summary.sum s);
+  check_float "min" 2. (Summary.min s);
+  check_float "max" 9. (Summary.max s)
+
+let test_ci_five_measurements () =
+  (* five observations, as in the paper's measurement protocol: the
+     Student t quantile for 4 dof is 2.776 *)
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  let expected = 2.776 *. Summary.stdev s /. sqrt 5. in
+  check_close 1e-9 "ci95" expected (Summary.ci95_halfwidth s)
+
+let test_merge_matches_concat () =
+  let a = Summary.of_list [ 1.; 2.; 3. ] in
+  let b = Summary.of_list [ 10.; 20. ] in
+  let m = Summary.merge a b in
+  let all = Summary.of_list [ 1.; 2.; 3.; 10.; 20. ] in
+  check_close 1e-9 "mean" (Summary.mean all) (Summary.mean m);
+  check_close 1e-9 "variance" (Summary.variance all) (Summary.variance m);
+  Alcotest.(check int) "count" 5 (Summary.count m);
+  check_float "min" 1. (Summary.min m);
+  check_float "max" 20. (Summary.max m)
+
+let test_merge_with_empty () =
+  let a = Summary.of_list [ 1.; 2. ] in
+  let e = Summary.create () in
+  check_close 1e-9 "left" (Summary.mean a) (Summary.mean (Summary.merge e a));
+  check_close 1e-9 "right" (Summary.mean a) (Summary.mean (Summary.merge a e))
+
+let test_add_seq () =
+  let s = Summary.create () in
+  Summary.add_seq s (Seq.init 10 float_of_int);
+  Alcotest.(check int) "count" 10 (Summary.count s);
+  check_float "mean" 4.5 (Summary.mean s)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"summary: welford variance = naive variance"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+      in
+      abs_float (Summary.variance s -. var) < 1e-6 *. (1. +. abs_float var))
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"summary: merge is symmetric in the mean" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.))
+        (list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      let a = Summary.of_list xs and b = Summary.of_list ys in
+      let m1 = Summary.merge a b and m2 = Summary.merge b a in
+      abs_float (Summary.mean m1 -. Summary.mean m2) < 1e-9)
+
+(* --- Histogram ------------------------------------------------------ *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check int) "bin0" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin9" 1 (Histogram.bin_count h 9)
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Histogram.add h (-5.);
+  Histogram.add h 99.;
+  Alcotest.(check int) "low edge" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "high edge" 1 (Histogram.bin_count h 3)
+
+let test_histogram_pdf_integrates_to_one () =
+  let h = Histogram.create ~lo:0. ~hi:5. ~bins:5 in
+  List.iter (Histogram.add h) [ 0.1; 1.1; 2.2; 3.3; 4.4; 4.5 ];
+  let area =
+    Array.fold_left (fun a (_, d) -> a +. (d *. Histogram.bin_width h)) 0.
+      (Histogram.pdf h)
+  in
+  check_close 1e-9 "area" 1. area
+
+let test_histogram_cdf_monotone () =
+  let h = Histogram.create ~lo:0. ~hi:5. ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 0.5; 3.; 4.9 ];
+  let cdf = Histogram.cdf h in
+  let ok = ref true in
+  for i = 1 to Array.length cdf - 1 do
+    if snd cdf.(i) < snd cdf.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "monotone" true !ok;
+  check_close 1e-9 "last is 1" 1. (snd cdf.(Array.length cdf - 1))
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  check_close 1.5 "median" 50. (Histogram.quantile h 0.5);
+  check_close 1.5 "p90" 90. (Histogram.quantile h 0.9)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins=0" (Invalid_argument "Histogram.create: bins <= 0")
+    (fun () -> ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create: hi <= lo")
+    (fun () -> ignore (Histogram.create ~lo:1. ~hi:1. ~bins:4))
+
+let prop_histogram_count_preserved =
+  QCheck.Test.make ~name:"histogram: total count = observations" ~count:100
+    QCheck.(list (float_range (-10.) 110.))
+    (fun xs ->
+      let h = Histogram.create ~lo:0. ~hi:100. ~bins:13 in
+      List.iter (Histogram.add h) xs;
+      Histogram.count h = List.length xs)
+
+(* --- Timeseries ----------------------------------------------------- *)
+
+let test_ts_basic () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 1.;
+  Timeseries.add ts ~time:1. 3.;
+  Alcotest.(check int) "length" 2 (Timeseries.length ts);
+  Alcotest.(check (option (pair (float 0.) (float 0.))))
+    "last" (Some (1., 3.)) (Timeseries.last ts)
+
+let test_ts_rejects_backwards () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:5. 0.;
+  Alcotest.check_raises "monotonic"
+    (Invalid_argument "Timeseries.add: non-monotonic time") (fun () ->
+      Timeseries.add ts ~time:4. 0.)
+
+let test_ts_mean_over () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 2.;
+  Timeseries.add ts ~time:10. 4.;
+  (* piecewise-constant: 2 on [0,10), 4 from 10 *)
+  check_close 1e-9 "first half" 2. (Timeseries.mean_over ts ~from:0. ~until:10.);
+  check_close 1e-9 "spanning" 3. (Timeseries.mean_over ts ~from:5. ~until:15.);
+  check_close 1e-9 "after" 4. (Timeseries.mean_over ts ~from:12. ~until:20.)
+
+let test_ts_mean_before_first_sample () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:10. 1.;
+  Alcotest.(check bool) "nan" true
+    (Float.is_nan (Timeseries.mean_over ts ~from:0. ~until:5.))
+
+let test_ts_resample () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 1.;
+  Timeseries.add ts ~time:2. 5.;
+  let r = Timeseries.resample ts ~dt:1. ~from:0. ~until:4. in
+  Alcotest.(check int) "samples" 4 (Array.length r);
+  check_float "t0" 1. r.(0);
+  check_float "t1" 1. r.(1);
+  check_float "t2" 5. r.(2)
+
+let test_ts_growth () =
+  let ts = Timeseries.create () in
+  for i = 0 to 999 do
+    Timeseries.add ts ~time:(float_of_int i) (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "length" 1000 (Timeseries.length ts);
+  let arr = Timeseries.to_array ts in
+  check_float "spot" (999. *. 999.) (snd arr.(999))
+
+let test_ts_fold () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0. 1.;
+  Timeseries.add ts ~time:1. 2.;
+  let sum = Timeseries.fold ts ~init:0. ~f:(fun a _ v -> a +. v) in
+  check_float "sum" 3. sum
+
+(* --- Table ---------------------------------------------------------- *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "y" ];
+  let _ = Table.add_float_row t "row" [ 1.5 ] in
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "mentions row" true
+    (String.length s >= 3 && String.sub s 0 1 = "T")
+
+let test_table_pads_short_rows () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "rendered" true (String.length s > 0)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create ~title:"t" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "summary: empty" `Quick test_empty;
+    Alcotest.test_case "summary: single" `Quick test_single;
+    Alcotest.test_case "summary: known values" `Quick test_known_values;
+    Alcotest.test_case "summary: ci (n=5)" `Quick test_ci_five_measurements;
+    Alcotest.test_case "summary: merge = concat" `Quick test_merge_matches_concat;
+    Alcotest.test_case "summary: merge with empty" `Quick test_merge_with_empty;
+    Alcotest.test_case "summary: add_seq" `Quick test_add_seq;
+    q prop_welford_matches_naive;
+    q prop_merge_commutes;
+    Alcotest.test_case "histogram: basic binning" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram: edge clamping" `Quick test_histogram_clamping;
+    Alcotest.test_case "histogram: pdf integrates to 1" `Quick
+      test_histogram_pdf_integrates_to_one;
+    Alcotest.test_case "histogram: cdf monotone" `Quick
+      test_histogram_cdf_monotone;
+    Alcotest.test_case "histogram: quantiles" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram: invalid args" `Quick test_histogram_invalid;
+    q prop_histogram_count_preserved;
+    Alcotest.test_case "timeseries: basic" `Quick test_ts_basic;
+    Alcotest.test_case "timeseries: rejects backwards time" `Quick
+      test_ts_rejects_backwards;
+    Alcotest.test_case "timeseries: time-weighted mean" `Quick test_ts_mean_over;
+    Alcotest.test_case "timeseries: mean before first sample" `Quick
+      test_ts_mean_before_first_sample;
+    Alcotest.test_case "timeseries: resample" `Quick test_ts_resample;
+    Alcotest.test_case "timeseries: growth" `Quick test_ts_growth;
+    Alcotest.test_case "timeseries: fold" `Quick test_ts_fold;
+    Alcotest.test_case "table: renders" `Quick test_table_renders;
+    Alcotest.test_case "table: pads short rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "table: rejects long rows" `Quick
+      test_table_rejects_long_rows;
+  ]
+
+let test_jain_index () =
+  check_float "equal shares" 1. (Summary.jain_index [ 5.; 5.; 5. ]);
+  check_close 1e-9 "one hog" 0.25 (Summary.jain_index [ 1.; 0.; 0.; 0. ]);
+  check_close 1e-9 "two equal of four" 0.5
+    (Summary.jain_index [ 1.; 1.; 0.; 0. ]);
+  Alcotest.(check bool) "empty" true (Float.is_nan (Summary.jain_index []));
+  check_float "all zero" 1. (Summary.jain_index [ 0.; 0. ])
+
+let prop_jain_in_unit_interval =
+  QCheck.Test.make ~name:"jain index lies in [1/n, 1]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 100.))
+    (fun xs ->
+      let j = Summary.jain_index xs in
+      let n = float_of_int (List.length xs) in
+      j >= (1. /. n) -. 1e-9 && j <= 1. +. 1e-9)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "summary: jain index" `Quick test_jain_index;
+      QCheck_alcotest.to_alcotest prop_jain_in_unit_interval;
+    ]
+
+let test_table_csv_export () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "y,z"; "2" ];
+  Alcotest.(check (list (list string))) "rows accessor"
+    [ [ "x"; "1" ]; [ "y,z"; "2" ] ]
+    (Table.rows t);
+  let path = Filename.temp_file "repro" ".csv" in
+  Table.to_csv t ~path;
+  let ic = open_in path in
+  let first = input_line ic and second = input_line ic and third = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "a,b" first;
+  Alcotest.(check string) "row" "x,1" second;
+  Alcotest.(check string) "escaped" "\"y,z\",2" third
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "table: csv export" `Quick test_table_csv_export ]
