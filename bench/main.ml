@@ -11,15 +11,54 @@
    shapes, not absolute numbers, are the reproduction target. *)
 
 module S = Mptcp_repro.Scenarios
+module E = Mptcp_repro.Exp
 module F = Mptcp_repro.Fluid
 module Stats = Mptcp_repro.Stats
 module Table = Stats.Table
 module Summary = Stats.Summary
 
 let quick = ref false
-let seeds () = if !quick then [ 1 ] else [ 1; 2; 3 ]
+let n_seeds () = if !quick then 1 else 3
 let duration () = if !quick then 40. else 90.
 let warmup () = if !quick then 10. else 30.
+
+(* Replicated measurements go through the experiment registry: one
+   scenario point, [n_seeds] deterministic seeds fanned out on the sweep
+   engine's domain pool, one summary per requested metric. The cache
+   lets figures share points (fig1b/fig9 reuse fig1c/fig10's runs). *)
+
+let measure_cache : (string * E.Spec.bindings, Summary.t list) Hashtbl.t =
+  Hashtbl.create 64
+
+let measure scenario overrides metrics =
+  let overrides =
+    overrides
+    @ [
+        ("duration", E.Spec.Float (duration ()));
+        ("warmup", E.Spec.Float (warmup ()));
+      ]
+  in
+  let key = (scenario, overrides) in
+  match Hashtbl.find_opt measure_cache key with
+  | Some s -> s
+  | None ->
+    let (module Sc : S.Registry.SCENARIO) = S.Registry.find scenario in
+    let pts =
+      E.Sweep.points Sc.spec ~fixed:overrides
+        [ E.Sweep.seed_axis (n_seeds ()) ]
+    in
+    let results = E.Sweep.run (module Sc) pts in
+    let summaries =
+      List.map
+        (fun m ->
+          Summary.of_list
+            (List.map
+               (fun p -> E.Outcome.metric p.E.Sweep.outcome m)
+               results))
+        metrics
+    in
+    Hashtbl.replace measure_cache key summaries;
+    summaries
 
 let pm s = Printf.sprintf "%.3f ± %.3f" (Summary.mean s) (Summary.ci95_halfwidth s)
 let pm2 s = Printf.sprintf "%.2f ± %.2f" (Summary.mean s) (Summary.ci95_halfwidth s)
@@ -38,32 +77,18 @@ let scen_a_params ~n1 ~c1 =
     rtt = 0.15;
   }
 
-let scen_a_cache = Hashtbl.create 32
-
 let scen_a_measure ~algo ~n1 ~c1 =
-  match Hashtbl.find_opt scen_a_cache (algo, n1, c1) with
-  | Some r -> r
-  | None ->
-  let cfg =
-    {
-      S.Scen_a.default with
-      n1;
-      c1_mbps = c1;
-      algo;
-      duration = duration ();
-      warmup = warmup ();
-    }
-  in
-  let runs = S.Scen_a.replicate cfg ~seeds:(seeds ()) in
-  let agg f = Summary.of_list (List.map f runs) in
-  let result =
-    ( agg (fun r -> r.S.Scen_a.norm_type1),
-      agg (fun r -> r.S.Scen_a.norm_type2),
-      agg (fun r -> r.S.Scen_a.p1),
-      agg (fun r -> r.S.Scen_a.p2) )
-  in
-  Hashtbl.replace scen_a_cache (algo, n1, c1) result;
-  result
+  match
+    measure "scenario-a"
+      [
+        ("n1", E.Spec.Int n1);
+        ("c1", E.Spec.Float c1);
+        ("algo", E.Spec.String algo);
+      ]
+      [ "norm_type1"; "norm_type2"; "p1"; "p2" ]
+  with
+  | [ t1; t2; p1; p2 ] -> (t1, t2, p1, p2)
+  | _ -> assert false
 
 let scenario_a_rows ~algo ~loss =
   let t =
@@ -207,9 +232,6 @@ let fig17 () =
   print_endline "(smaller RTT = larger probing overhead: 1 MSS per RTT)"
 
 let table_b ~algo ~label =
-  let base =
-    { S.Scen_b.default with algo; duration = duration (); warmup = warmup () }
-  in
   let t =
     Table.create
       ~title:
@@ -219,18 +241,18 @@ let table_b ~algo ~label =
       ~columns:[ "Red users"; "blue rate/user"; "red rate/user"; "aggregate" ]
   in
   let row label red_multipath =
-    let runs =
-      S.Scen_b.replicate { base with red_multipath } ~seeds:(seeds ())
-    in
-    let agg f = Summary.of_list (List.map f runs) in
-    Table.add_row t
-      [
-        label;
-        pm2 (agg (fun r -> r.S.Scen_b.blue_rate));
-        pm2 (agg (fun r -> r.S.Scen_b.red_rate));
-        pm2 (agg (fun r -> r.S.Scen_b.aggregate));
-      ];
-    Summary.mean (agg (fun r -> r.S.Scen_b.aggregate))
+    match
+      measure "scenario-b"
+        [
+          ("red_multipath", E.Spec.Bool red_multipath);
+          ("algo", E.Spec.String algo);
+        ]
+        [ "blue_rate"; "red_rate"; "aggregate" ]
+    with
+    | [ blue; red; aggregate ] ->
+      Table.add_row t [ label; pm2 blue; pm2 red; pm2 aggregate ];
+      Summary.mean aggregate
+    | _ -> assert false
   in
   let sp = row "single-path" false in
   let mp = row "multipath" true in
@@ -281,31 +303,18 @@ let fig5b () =
   Table.print t;
   print_endline "(LIA grabs AP2 beyond C1/C2 = 1/3; the optimum does not, P2)"
 
-let scen_c_cache = Hashtbl.create 32
-
 let scen_c_measure ~algo ~n1 ~c1 =
-  match Hashtbl.find_opt scen_c_cache (algo, n1, c1) with
-  | Some r -> r
-  | None ->
-  let cfg =
-    {
-      S.Scen_c.default with
-      n1;
-      c1_mbps = c1;
-      algo;
-      duration = duration ();
-      warmup = warmup ();
-    }
-  in
-  let runs = S.Scen_c.replicate cfg ~seeds:(seeds ()) in
-  let agg f = Summary.of_list (List.map f runs) in
-  let result =
-    ( agg (fun r -> r.S.Scen_c.norm_multipath),
-      agg (fun r -> r.S.Scen_c.norm_single),
-      agg (fun r -> r.S.Scen_c.p2) )
-  in
-  Hashtbl.replace scen_c_cache (algo, n1, c1) result;
-  result
+  match
+    measure "scenario-c"
+      [
+        ("n1", E.Spec.Int n1);
+        ("c1", E.Spec.Float c1);
+        ("algo", E.Spec.String algo);
+      ]
+      [ "norm_multipath"; "norm_single"; "p2" ]
+  with
+  | [ multi; single; p2 ] -> (multi, single, p2)
+  | _ -> assert false
 
 let scenario_c_rows ~algo ~loss =
   let t =

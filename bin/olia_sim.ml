@@ -1,6 +1,9 @@
 (* olia_sim: command-line front end for the OLIA reproduction.
 
    Subcommands:
+     list                                   registered scenarios and params
+     run <scenario> [-p k=v]...             any registry scenario, one point
+     sweep <scenario> [-x k=axis]...        multicore parameter sweep
      scenario-a | scenario-b | scenario-c   testbed scenarios (paper §III/VI)
      trace                                  two-bottleneck window traces
      fattree                                static FatTree experiment
@@ -9,12 +12,16 @@
 
 open Cmdliner
 module S = Mptcp_repro.Scenarios
+module E = Mptcp_repro.Exp
 module F = Mptcp_repro.Fluid
 
 (* --- common options ---------------------------------------------------- *)
 
 let algo =
-  let doc = "Congestion control: reno, lia, olia, balia or coupled:<eps>." in
+  let doc =
+    "Congestion control: reno, lia, olia, balia, cubic, scalable, wvegas or \
+     coupled:<eps>."
+  in
   Arg.(value & opt string "olia" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
 
 let seed =
@@ -44,6 +51,190 @@ let c1 =
 let c2 =
   let doc = "Per-user capacity C2, Mb/s." in
   Arg.(value & opt float 1. & info [ "c2" ] ~docv:"MBPS" ~doc)
+
+(* --- registry-driven commands: list, run, sweep ------------------------- *)
+
+let scenario_pos =
+  let doc = "Registry scenario name; $(b,olia_sim list) shows them all." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let params_opt =
+  let doc =
+    "Override one spec parameter, e.g. $(b,-p n2=30); repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "p"; "param" ] ~docv:"KEY=VALUE" ~doc)
+
+let out_opt =
+  let doc = "Write results to $(docv) (.json or .csv, by extension)." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let run_list () =
+  List.iter
+    (fun name ->
+      let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
+      Printf.printf "%s\n  %s\n" Sc.spec.E.Spec.name Sc.spec.E.Spec.doc;
+      List.iter
+        (fun p ->
+          Printf.printf "    %-16s %-7s default %-8s %s\n" p.E.Spec.key
+            (E.Spec.type_name p.E.Spec.default)
+            (E.Spec.value_to_string p.E.Spec.default)
+            p.E.Spec.doc)
+        Sc.spec.E.Spec.params;
+      print_newline ())
+    S.Registry.names
+
+let list_cmd =
+  let doc = "List every registered scenario and its parameters." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run_list $ const ())
+
+let print_outcome outcome =
+  List.iter
+    (fun (name, v) -> Printf.printf "%-24s %.6g\n" name v)
+    outcome.E.Outcome.metrics;
+  List.iter
+    (fun (name, a) ->
+      Printf.printf "%-24s [%d values]\n" name (Array.length a))
+    outcome.E.Outcome.arrays
+
+let run_generic name params out =
+  try
+    let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
+    let bindings = List.map (E.Spec.parse_assign Sc.spec) params in
+    let outcome = Sc.run bindings in
+    Printf.printf "%s:\n" name;
+    print_outcome outcome;
+    Option.iter
+      (fun path ->
+        if Filename.check_suffix path ".csv" then
+          E.Sweep.write_csv ~path ~spec:Sc.spec
+            [ { E.Sweep.bindings; outcome } ]
+        else
+          Mptcp_repro.Stats.Json.write ~path
+            (Mptcp_repro.Stats.Json.Obj
+               [
+                 ("scenario", Mptcp_repro.Stats.Json.String name);
+                 ("params", E.Spec.to_json Sc.spec bindings);
+                 ("outcome", E.Outcome.to_json outcome);
+               ]);
+        Printf.printf "wrote %s\n" path)
+      out;
+    `Ok ()
+  with Invalid_argument msg -> `Error (false, msg)
+
+let run_cmd =
+  let doc = "Run any registered scenario once, driven by its spec." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run_generic $ scenario_pos $ params_opt $ out_opt))
+
+let axes_opt =
+  let doc =
+    "Sweep one parameter: $(b,-x n2=10:100:10) (inclusive range) or \
+     $(b,-x algo=lia,olia) (explicit list); repeatable, the cross-product \
+     of all axes is run."
+  in
+  Arg.(value & opt_all string [] & info [ "x"; "axis" ] ~docv:"KEY=AXIS" ~doc)
+
+let seeds_opt =
+  let doc =
+    "Replicate every point under seeds 1..$(docv) (adds a seed axis)."
+  in
+  Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let domains_opt =
+  let doc =
+    "Worker domains (0 = Domain.recommended_domain_count; 1 = sequential)."
+  in
+  Arg.(value & opt int 0 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let agg_out_opt =
+  let doc = "Also write the aggregated (mean/stddev) table to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "agg-out" ] ~docv:"FILE" ~doc)
+
+let run_sweep name axes params seeds domains out agg_out =
+  try
+    let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
+    let fixed = List.map (E.Spec.parse_assign Sc.spec) params in
+    let axes = List.map (E.Sweep.axis_of_assign Sc.spec) axes in
+    let axes =
+      if seeds > 1 && not (List.exists (fun a -> a.E.Sweep.key = "seed") axes)
+      then axes @ [ E.Sweep.seed_axis seeds ]
+      else axes
+    in
+    if axes = [] then invalid_arg "sweep: give at least one -x axis";
+    let pts = E.Sweep.points Sc.spec ~fixed axes in
+    let requested =
+      if domains <= 0 then Domain.recommended_domain_count () else domains
+    in
+    let workers = Stdlib.max 1 (Stdlib.min requested (List.length pts)) in
+    let t0 = Unix.gettimeofday () in
+    let results = E.Sweep.run ~domains:workers (module Sc) pts in
+    let dt = Unix.gettimeofday () -. t0 in
+    let agg = E.Sweep.aggregate results in
+    (* print the aggregated table *)
+    let axis_keys =
+      List.filter (fun k -> k <> "seed") (List.map (fun a -> a.E.Sweep.key) axes)
+    in
+    let metrics =
+      match agg.E.Sweep.rows with
+      | [] -> []
+      | a :: _ -> List.map fst a.E.Sweep.stats
+    in
+    let table =
+      Mptcp_repro.Stats.Table.create
+        ~title:(Printf.sprintf "%s sweep (n per point = seed replications)" name)
+        ~columns:(axis_keys @ [ "n" ] @ metrics)
+    in
+    List.iter
+      (fun (a : E.Sweep.agg) ->
+        Mptcp_repro.Stats.Table.add_row table
+          (List.map
+             (fun k -> E.Spec.value_to_string (E.Spec.get Sc.spec a.group k))
+             axis_keys
+          @ [ string_of_int a.E.Sweep.n ]
+          @ List.map
+              (fun m ->
+                let mean, sd = List.assoc m a.E.Sweep.stats in
+                if a.E.Sweep.n > 1 then Printf.sprintf "%.4g ± %.2g" mean sd
+                else Printf.sprintf "%.4g" mean)
+              metrics))
+      agg.E.Sweep.rows;
+    Mptcp_repro.Stats.Table.print table;
+    Printf.printf "%d points on %d domain%s in %.1f s\n" (List.length pts)
+      workers
+      (if workers = 1 then "" else "s")
+      dt;
+    Option.iter
+      (fun path ->
+        if Filename.check_suffix path ".csv" then
+          E.Sweep.write_csv ~path ~spec:Sc.spec results
+        else E.Sweep.write_json ~path ~spec:Sc.spec ~aggregated:agg results;
+        Printf.printf "wrote %s\n" path)
+      out;
+    Option.iter
+      (fun path ->
+        E.Sweep.write_agg_csv ~path ~spec:Sc.spec agg;
+        Printf.printf "wrote %s\n" path)
+      agg_out;
+    `Ok ()
+  with Invalid_argument msg -> `Error (false, msg)
+
+let sweep_cmd =
+  let doc =
+    "Sweep a scenario over parameter axes, in parallel across domains."
+  in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P
+        "olia_sim sweep scenario-a -x n2=10:100:10 -x algo=lia,olia --seeds \
+         5 --out sweep.json";
+    ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc ~man)
+    Term.(
+      ret
+        (const run_sweep $ scenario_pos $ axes_opt $ params_opt $ seeds_opt
+        $ domains_opt $ out_opt $ agg_out_opt))
 
 (* --- scenario A --------------------------------------------------------- *)
 
@@ -325,7 +516,7 @@ let () =
     (Cmd.eval
        (Cmd.group info ~default
           [
-            scenario_a_cmd; scenario_b_cmd; scenario_c_cmd; trace_cmd;
-            fattree_cmd; fattree_dynamic_cmd; responsiveness_cmd;
-            wireless_cmd; fluid_cmd;
+            list_cmd; run_cmd; sweep_cmd; scenario_a_cmd; scenario_b_cmd;
+            scenario_c_cmd; trace_cmd; fattree_cmd; fattree_dynamic_cmd;
+            responsiveness_cmd; wireless_cmd; fluid_cmd;
           ]))

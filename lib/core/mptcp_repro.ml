@@ -8,8 +8,12 @@
       endpoints, RED and DropTail queues, pipes);
     - {!Topology} — duplex links and the k-ary FatTree;
     - {!Workload} — traffic generators;
-    - {!Scenarios} — ready-made builds of every experiment in the paper;
-    - {!Stats} — summaries, histograms, time series and table printing. *)
+    - {!Scenarios} — ready-made builds of every experiment in the paper,
+      plus the name-based {!Scenarios.Registry};
+    - {!Exp} — the uniform experiment API and the multicore
+      parameter-sweep engine;
+    - {!Stats} — summaries, histograms, time series, table printing and
+      the CSV/JSON emitters. *)
 
 module Cc = struct
   module Types = Repro_cc.Cc_types
@@ -59,8 +63,16 @@ end
 
 module Workload = Repro_workload.Workload
 
+module Exp = struct
+  module Spec = Repro_exp.Spec
+  module Outcome = Repro_exp.Outcome
+  module Scenario_intf = Repro_exp.Scenario_intf
+  module Sweep = Repro_exp.Sweep
+end
+
 module Scenarios = struct
   module Common = Repro_scenarios.Common
+  module Registry = Repro_scenarios.Registry
   module Scen_a = Repro_scenarios.Scen_a
   module Scen_b = Repro_scenarios.Scen_b
   module Scen_c = Repro_scenarios.Scen_c
@@ -77,4 +89,5 @@ module Stats = struct
   module Timeseries = Repro_stats.Timeseries
   module Table = Repro_stats.Table
   module Csv = Repro_stats.Csv
+  module Json = Repro_stats.Json
 end

@@ -1,0 +1,37 @@
+type t = {
+  metrics : (string * float) list;
+  arrays : (string * float array) list;
+}
+
+let of_metrics ?(arrays = []) metrics = { metrics; arrays }
+
+let metric_opt t name = List.assoc_opt name t.metrics
+
+let metric_names t = List.map fst t.metrics
+
+let metric t name =
+  match metric_opt t name with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Outcome.metric: no metric %S (available: %s)" name
+         (String.concat ", " (metric_names t)))
+
+let to_json t =
+  let open Repro_stats.Json in
+  let metrics =
+    ("metrics", Obj (List.map (fun (k, v) -> (k, Float v)) t.metrics))
+  in
+  match t.arrays with
+  | [] -> Obj [ metrics ]
+  | arrays ->
+    Obj
+      [
+        metrics;
+        ( "arrays",
+          Obj
+            (List.map
+               (fun (k, a) ->
+                 (k, List (Array.to_list (Array.map (fun v -> Float v) a))))
+               arrays) );
+      ]

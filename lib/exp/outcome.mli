@@ -1,0 +1,24 @@
+(** The uniform result type of the experiment API: a set of named scalar
+    metrics plus optional per-flow (or per-sample) arrays. Typed scenario
+    results ([Scen_a.result] etc.) flatten into this shape so the sweep
+    engine, the emitters and the CLI can treat every scenario alike. *)
+
+type t = {
+  metrics : (string * float) list;  (** scalar results, in display order *)
+  arrays : (string * float array) list;
+      (** optional vector results (per-flow goodputs, ranked shares, …) *)
+}
+
+val of_metrics : ?arrays:(string * float array) list -> (string * float) list -> t
+
+val metric : t -> string -> float
+(** Raises [Invalid_argument] (listing the available metrics) when
+    absent. *)
+
+val metric_opt : t -> string -> float option
+
+val metric_names : t -> string list
+
+val to_json : t -> Repro_stats.Json.t
+(** [{"metrics": {...}, "arrays": {...}}]; the [arrays] field is omitted
+    when empty. *)

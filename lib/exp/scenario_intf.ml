@@ -1,0 +1,14 @@
+(** The uniform interface every registered experiment implements: a
+    parameter {!Spec.t} (name, doc, typed defaults) and a [run] taking
+    resolved bindings to an {!Outcome.t}. The typed entry points
+    ([Scen_a.run : config -> result] etc.) remain the implementation;
+    registry adapters in [lib/scenarios] wrap them in this signature. *)
+
+module type S = sig
+  val spec : Spec.t
+
+  val run : Spec.bindings -> Outcome.t
+  (** Must be pure up to its bindings (fresh simulator and RNG per call,
+      seeded from the ["seed"] parameter) so the sweep engine may invoke
+      it from any domain. *)
+end

@@ -5,7 +5,9 @@ type cc_factory = unit -> Repro_cc.Cc_types.t
 (** Fresh congestion-controller per connection. *)
 
 val factory_of_name : string -> cc_factory
-(** ["reno"], ["lia"], ["olia"], ["balia"], ["coupled:<eps>"]. *)
+(** Every {!Repro_cc.Registry} name: ["reno"], ["lia"], ["olia"],
+    ["balia"], ["cubic"], ["scalable"], ["wvegas"] and
+    ["coupled:<eps>"]. Raises [Invalid_argument] on unknown names. *)
 
 type measured = {
   goodput_pps : float;  (** packets per second over the measurement window *)

@@ -1,0 +1,24 @@
+(** Minimal JSON tree and serializer for exporting experiment outcomes
+    and sweep tables to plotting tools. No parsing — emission only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats serialize as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] streamed to a channel, with a trailing newline. *)
+
+val write : path:string -> t -> unit
+(** Write the compact rendering (plus newline) to [path], creating or
+    truncating it. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact rendering, as a formatter. *)

@@ -9,6 +9,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("topology", Test_topology.suite);
       ("scenarios", Test_scenarios.suite);
+      ("exp", Test_exp.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("infra", Test_infra.suite);
