@@ -10,6 +10,8 @@
    Simulated links are scaled versions of the testbed (see DESIGN.md);
    shapes, not absolute numbers, are the reproduction target. *)
 
+(* lint: allow-file R1 -- wall-clock progress reporting of the harness; simulation results never read it *)
+
 module S = Mptcp_repro.Scenarios
 module E = Mptcp_repro.Exp
 module F = Mptcp_repro.Fluid

@@ -1,0 +1,51 @@
+(* olia_lint — the repo's own static-analysis pass.
+
+   Walks every .ml/.mli under the given roots (default: lib bin bench
+   test), parses them with compiler-libs and enforces the invariant
+   catalogue R1-R5 described in docs/LINT.md. Exit status: 0 clean,
+   1 findings, 2 usage error. *)
+
+let usage = "usage: olia_lint [--json] [--rules] [DIR|FILE ...]"
+
+let print_rules () =
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %s\n" (Repro_lint.Finding.rule_name r)
+        (Repro_lint.Finding.rule_doc r))
+    Repro_lint.Finding.[ R1; R2; R3; R4; R5; Parse; Suppress ]
+
+let () =
+  let json = ref false in
+  let rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " report findings as JSON on stdout");
+      ("--rules", Arg.Set rules, " print the rule catalogue and exit");
+    ]
+  in
+  (try Arg.parse spec (fun d -> roots := d :: !roots) usage
+   with Arg.Bad msg ->
+     prerr_endline msg;
+     exit 2);
+  if !rules then (
+    print_rules ();
+    exit 0);
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test" ]
+    | r -> r
+  in
+  (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+   | [] -> ()
+   | missing ->
+     Printf.eprintf "olia_lint: no such file or directory: %s\n"
+       (String.concat ", " missing);
+     exit 2);
+  let files, findings = Repro_lint.Engine.lint_paths roots in
+  if !json then
+    print_endline
+      (Repro_stats.Json.to_string
+         (Repro_lint.Report.to_json ~files findings))
+  else print_string (Repro_lint.Report.to_text ~files findings);
+  exit (if findings = [] then 0 else 1)

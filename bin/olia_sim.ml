@@ -166,8 +166,10 @@ let run_sweep name axes params seeds domains out agg_out =
       if domains <= 0 then Domain.recommended_domain_count () else domains
     in
     let workers = Stdlib.max 1 (Stdlib.min requested (List.length pts)) in
+    (* lint: allow R1 -- wall-clock timing of the sweep engine itself *)
     let t0 = Unix.gettimeofday () in
     let results = E.Sweep.run ~domains:workers (module Sc) pts in
+    (* lint: allow R1 -- closes the wall-clock interval opened above *)
     let dt = Unix.gettimeofday () -. t0 in
     let agg = E.Sweep.aggregate results in
     (* print the aggregated table *)

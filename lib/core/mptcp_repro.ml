@@ -44,6 +44,7 @@ end
 module Netsim = struct
   module Sim = Repro_netsim.Sim
   module Rng = Repro_netsim.Rng
+  module Invariant = Repro_netsim.Invariant
   module Packet = Repro_netsim.Packet
   module Queue = Repro_netsim.Queue
   module Pipe = Repro_netsim.Pipe

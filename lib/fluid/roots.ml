@@ -1,7 +1,7 @@
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  if Float.equal flo 0. then lo
+  else if Float.equal fhi 0. then hi
   else if flo *. fhi > 0. then
     invalid_arg "Roots.bisect: no sign change on the interval"
   else
@@ -10,7 +10,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
       if hi -. lo < tol || iter = 0 then mid
       else
         let fmid = f mid in
-        if fmid = 0. then mid
+        if Float.equal fmid 0. then mid
         else if flo *. fmid < 0. then loop lo mid flo (iter - 1)
         else loop mid hi fmid (iter - 1)
     in
@@ -40,7 +40,7 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
       if abs_float fx < tol then x
       else
         let d = df x in
-        if d = 0. then failwith "Roots.newton: zero derivative"
+        if Float.equal d 0. then failwith "Roots.newton: zero derivative"
         else loop (x -. (fx /. d)) (iter - 1)
   in
   loop x0 max_iter

@@ -40,7 +40,8 @@ let olia_rates_with_probing paths =
     let rates = olia_rates paths in
     let probing =
       List.map2
-        (fun p r -> if r = 0. then Units.probe_rate ~rtt:p.rtt else 0.)
+        (fun p r ->
+          if Float.equal r 0. then Units.probe_rate ~rtt:p.rtt else 0.)
         paths rates
     in
     let overhead = List.fold_left ( +. ) 0. probing in

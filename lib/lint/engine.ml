@@ -1,0 +1,93 @@
+type source = { path : string; content : string }
+
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf
+  | Failed of Finding.t
+
+let parse { path; content } =
+  let lexbuf = Lexing.from_string content in
+  Location.init lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then (
+      ignore (Parse.interface lexbuf);
+      Intf)
+    else Impl (Parse.implementation lexbuf)
+  with exn ->
+    let loc, detail =
+      match exn with
+      | Syntaxerr.Error e -> (Syntaxerr.location_of_error e, "syntax error")
+      | Lexer.Error (_, loc) -> (loc, "lexing error")
+      | _ -> (Location.in_file path, Printexc.to_string exn)
+    in
+    let p = loc.Location.loc_start in
+    Failed
+      (Finding.v ~rule:Finding.Parse ~file:path ~line:p.Lexing.pos_lnum
+         ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+         (Printf.sprintf "file does not parse (%s); no rule was checked"
+            detail))
+
+let rec dedup_sorted = function
+  | a :: b :: rest when Finding.compare a b = 0 -> dedup_sorted (b :: rest)
+  | a :: rest -> a :: dedup_sorted rest
+  | [] -> []
+
+let lint_sources sources =
+  let structures = ref [] in
+  let raw =
+    List.concat_map
+      (fun src ->
+        match parse src with
+        | Failed f -> [ f ]
+        | Intf -> []
+        | Impl structure ->
+          structures := (src.path, structure) :: !structures;
+          Rules.check_structure ~path:src.path structure)
+      sources
+  in
+  let raw = raw @ Rules.check_registry ~sources:(List.rev !structures) in
+  let findings =
+    List.concat_map
+      (fun src ->
+        let sup = Suppress.scan ~file:src.path src.content in
+        Suppress.invalid sup
+        @ List.filter
+            (fun f ->
+              f.Finding.file = src.path && not (Suppress.permits sup f))
+            raw)
+      sources
+  in
+  dedup_sorted (List.sort Finding.compare findings)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let collect_files roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if entry <> "_build" && entry.[0] <> '.' then
+            walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if is_source path then acc := path :: !acc
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then walk root)
+    roots;
+  List.sort String.compare !acc
+
+let lint_paths roots =
+  let files = collect_files roots in
+  let sources =
+    List.map
+      (fun path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let content = really_input_string ic n in
+        close_in ic;
+        { path; content })
+      files
+  in
+  (List.length files, lint_sources sources)

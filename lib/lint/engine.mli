@@ -1,0 +1,24 @@
+(** Driving the rules over sources.
+
+    The engine is pure with respect to its inputs: {!lint_sources}
+    takes (path, content) pairs — the test suite feeds it inline
+    fixtures — and {!lint_paths} merely walks the filesystem to build
+    that list. Findings come back suppression-filtered, deduplicated
+    and sorted. *)
+
+type source = { path : string; content : string }
+
+val lint_sources : source list -> Finding.t list
+(** Parse every source ([.ml] as implementation, [.mli] as interface),
+    run R1-R4 per file and R5 across files, then drop findings waived
+    by valid {!Suppress} directives. Unparseable files yield a single
+    [Parse] finding; malformed directives yield [Suppress] findings.
+    Neither of those two can be waived. *)
+
+val collect_files : string list -> string list
+(** All [.ml]/[.mli] files below the given roots (a root may also be a
+    plain file), sorted, skipping [_build] and dot-directories. *)
+
+val lint_paths : string list -> int * Finding.t list
+(** [collect_files], read each, [lint_sources]; returns the number of
+    files scanned alongside the findings. *)

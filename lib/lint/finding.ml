@@ -1,0 +1,83 @@
+type rule = R1 | R2 | R3 | R4 | R5 | Parse | Suppress
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | Parse -> "parse"
+  | Suppress -> "suppress"
+
+let rule_of_name = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let rule_doc = function
+  | R1 ->
+    "determinism: all randomness and time must flow through Netsim.Rng \
+     and Sim.now so sweeps replay byte-identically"
+  | R2 ->
+    "domain-safety: no module-level mutable state in lib/ (shared across \
+     Exp.Sweep domains)"
+  | R3 ->
+    "float-hygiene: no structural =/<>/compare on float operands in \
+     lib/fluid and lib/cc"
+  | R4 ->
+    "output hygiene: lib/ never prints to stdout; results flow through \
+     lib/stats emitters or Netsim.Monitor"
+  | R5 ->
+    "registry completeness: every scenario module in lib/scenarios is \
+     reachable from Scenarios.Registry"
+  | Parse -> "the file must parse before any rule can run"
+  | Suppress -> "suppression directives need valid rule ids and a reason"
+
+let rule_index = function
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | Parse -> 6
+  | Suppress -> 7
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = Int.compare (rule_index a.rule) (rule_index b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s %s" f.file f.line f.col (rule_name f.rule)
+    f.message
+
+let to_json f =
+  Repro_stats.Json.Obj
+    [
+      ("rule", Repro_stats.Json.String (rule_name f.rule));
+      ("file", Repro_stats.Json.String f.file);
+      ("line", Repro_stats.Json.Int f.line);
+      ("col", Repro_stats.Json.Int f.col);
+      ("message", Repro_stats.Json.String f.message);
+    ]

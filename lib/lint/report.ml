@@ -1,0 +1,28 @@
+let to_text ~files findings =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_string f);
+      Buffer.add_char b '\n')
+    findings;
+  (match findings with
+   | [] ->
+     Buffer.add_string b
+       (Printf.sprintf "olia_lint: %d files clean (rules R1-R5)\n" files)
+   | _ ->
+     Buffer.add_string b
+       (Printf.sprintf "olia_lint: %d finding%s in %d files\n"
+          (List.length findings)
+          (if List.length findings = 1 then "" else "s")
+          files));
+  Buffer.contents b
+
+let to_json ~files findings =
+  Repro_stats.Json.Obj
+    [
+      ("files", Repro_stats.Json.Int files);
+      ("count", Repro_stats.Json.Int (List.length findings));
+      ("clean", Repro_stats.Json.Bool (findings = []));
+      ( "findings",
+        Repro_stats.Json.List (List.map Finding.to_json findings) );
+    ]

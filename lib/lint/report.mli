@@ -1,0 +1,12 @@
+(** Rendering findings.
+
+    Both reporters return data (a string, a JSON tree) rather than
+    printing: [lib/] code is subject to its own R4, so the terminal
+    belongs to [bin/olia_lint]. *)
+
+val to_text : files:int -> Finding.t list -> string
+(** Compiler-style [file:line:col: RULE message] lines followed by a
+    one-line tally, or a single "clean" line. *)
+
+val to_json : files:int -> Finding.t list -> Repro_stats.Json.t
+(** [{"files": n, "findings": [...], "count": n, "clean": bool}]. *)

@@ -1,0 +1,28 @@
+(** The rule catalogue R1-R5.
+
+    Rules are purely syntactic (no typing pass), so each one errs on
+    the side of precision over recall; docs/LINT.md records the
+    approximations. Path scoping — which rules run where — is decided
+    here from the repo-relative path of the file. *)
+
+val scope_r1 : string -> bool
+(** Everywhere except [lib/netsim/rng.ml], the one blessed RNG. *)
+
+val scope_r2 : string -> bool
+(** [lib/] only: libraries run inside [Exp.Sweep] domains. *)
+
+val scope_r3 : string -> bool
+(** [lib/fluid/] and [lib/cc/], the numerics. *)
+
+val scope_r4 : string -> bool
+(** [lib/] only. *)
+
+val check_structure : path:string -> Parsetree.structure -> Finding.t list
+(** Run R1-R4 (as scoped for [path]) over one parsed implementation. *)
+
+val check_registry :
+  sources:(string * Parsetree.structure) list -> Finding.t list
+(** R5: given every parsed [.ml] of the run, report scenario modules
+    under [lib/scenarios/] (files defining a top-level [run], other
+    than [registry.ml]/[common.ml]) that [lib/scenarios/registry.ml]
+    never references. *)

@@ -1,0 +1,25 @@
+(** Debug-gated runtime invariants.
+
+    The static pass ([olia_lint], rules R1/R2) keeps nondeterminism and
+    shared state out of the libraries; these checks complement it at
+    runtime, where only execution can tell whether a queue conserves
+    packets or a sender's window collapsed below one MSS.
+
+    Checks are off by default so benchmarks pay a single branch per
+    site. Set [OLIA_DEBUG_INVARIANTS=1] (or [true]/[yes]/[on]) before
+    starting the process to arm them; a violated invariant raises
+    {!Violation} with a description of the broken state. *)
+
+exception Violation of string
+
+val enabled : unit -> bool
+(** Are the checks armed? Call sites guard with this before building
+    the (possibly costly) diagnostic message. *)
+
+val set_enabled : bool -> unit
+(** Test hook: arm or disarm the checks at runtime. Call it only from
+    single-domain setup code (the flag is a plain shared cell). *)
+
+val require : bool -> string -> unit
+(** [require cond msg] raises [Violation msg] when [cond] is false.
+    Unconditional — guard the call with {!enabled}. *)

@@ -44,10 +44,27 @@ let watch_goodput t name conn =
       last := acked;
       float_of_int (delta * 8 * Packet.data_size) /. t.period /. 1e6)
 
+(* The monitor double-checks what it samples: a probe reading broken
+   queue state would otherwise be archived as a plausible data point. *)
 let watch_backlog t name q =
-  watch t name (fun () -> float_of_int (Queue.backlog q))
+  watch t name (fun () ->
+      let b = Queue.backlog q in
+      if Invariant.enabled () then
+        Invariant.require
+          (b >= 0 && b <= Queue.capacity q)
+          (Printf.sprintf "monitor %s: sampled backlog %d outside [0, %d]"
+             name b (Queue.capacity q));
+      float_of_int b)
 
-let watch_loss t name q = watch t name (fun () -> Queue.loss_probability q)
+let watch_loss t name q =
+  watch t name (fun () ->
+      let p = Queue.loss_probability q in
+      if Invariant.enabled () then
+        Invariant.require
+          (p >= 0. && p <= 1.)
+          (Printf.sprintf "monitor %s: sampled loss probability %g outside \
+                           [0, 1]" name p);
+      p)
 
 let to_csv t ~path =
   let names = names t in

@@ -25,6 +25,13 @@ let ack ~flow ~subflow ~ackno ~echo ~sack ~route ~sent_at =
     subflow; hop = 0; route; sent_at }
 
 let forward p =
+  if Invariant.enabled () then
+    Invariant.require
+      (p.hop >= 0 && p.hop < Array.length p.route)
+      (Printf.sprintf
+         "packet flow %d subflow %d seq %d: hop %d outside route of length \
+          %d"
+         p.flow p.subflow p.seq p.hop (Array.length p.route));
   assert (p.hop < Array.length p.route);
   let h = p.route.(p.hop) in
   p.hop <- p.hop + 1;

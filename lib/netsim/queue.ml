@@ -32,6 +32,12 @@ type t = {
   mutable arrivals : int;
   mutable drops : int;
   mutable bytes_forwarded : int;
+  (* conservation counters for Invariant checks: never reset by
+     [reset_stats], so in = dropped + delivered + queued always holds *)
+  mutable dbg_data_in : int;
+  mutable dbg_data_dropped : int;
+  mutable dbg_data_done : int;
+  mutable dbg_service_data : bool;  (* is the packet in service Data? *)
 }
 
 let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
@@ -53,10 +59,50 @@ let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
     arrivals = 0;
     drops = 0;
     bytes_forwarded = 0;
+    dbg_data_in = 0;
+    dbg_data_dropped = 0;
+    dbg_data_done = 0;
+    dbg_service_data = false;
   }
 
 let service_time t (p : Packet.t) =
   float_of_int (8 * p.size_bytes) /. t.rate_bps
+
+let is_data (p : Packet.t) =
+  match p.kind with Packet.Data -> true | Packet.Ack _ -> false
+
+(* Packet conservation and occupancy, checked at every state change
+   when OLIA_DEBUG_INVARIANTS is set: every data packet that ever
+   arrived is accounted for as dropped, delivered, queued or in
+   service, and the backlog tracks the fifo exactly and never exceeds
+   the buffer. *)
+let check_invariants t =
+  if Invariant.enabled () then begin
+    Invariant.require
+      (t.backlog >= 0 && t.backlog <= t.buffer_pkts)
+      (Printf.sprintf "queue %s: backlog %d outside [0, %d]" t.name t.backlog
+         t.buffer_pkts);
+    Invariant.require
+      (t.backlog
+       = Stdlib.Queue.length t.fifo + (if t.busy then 1 else 0))
+      (Printf.sprintf
+         "queue %s: backlog %d disagrees with fifo length %d (busy %b)"
+         t.name t.backlog
+         (Stdlib.Queue.length t.fifo)
+         t.busy);
+    let queued_data =
+      Stdlib.Queue.fold
+        (fun acc p -> if is_data p then acc + 1 else acc)
+        (if t.dbg_service_data then 1 else 0)
+        t.fifo
+    in
+    Invariant.require
+      (t.dbg_data_in = t.dbg_data_dropped + t.dbg_data_done + queued_data)
+      (Printf.sprintf
+         "queue %s: data packets not conserved (in %d <> dropped %d + \
+          delivered %d + queued %d)"
+         t.name t.dbg_data_in t.dbg_data_dropped t.dbg_data_done queued_data)
+  end
 
 let rec serve t =
   match Stdlib.Queue.take_opt t.fifo with
@@ -65,11 +111,15 @@ let rec serve t =
     t.idle_since <- Sim.now t.sim
   | Some p ->
     t.busy <- true;
+    t.dbg_service_data <- is_data p;
     Sim.schedule_after t.sim (service_time t p) (fun () ->
         t.backlog <- t.backlog - 1;
         t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
+        if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
+        t.dbg_service_data <- false;
         Packet.forward p;
-        serve t)
+        serve t;
+        check_invariants t)
 
 let red_drop_probability params avg =
   if avg < params.min_th then 0.
@@ -118,11 +168,11 @@ let red_decides_drop t params =
     else false
   end
 
-let is_data (p : Packet.t) =
-  match p.kind with Packet.Data -> true | Packet.Ack _ -> false
-
 let enqueue t (p : Packet.t) =
-  if is_data p then t.arrivals <- t.arrivals + 1;
+  if is_data p then begin
+    t.arrivals <- t.arrivals + 1;
+    t.dbg_data_in <- t.dbg_data_in + 1
+  end;
   let dropped =
     if t.backlog >= t.buffer_pkts then true
     else
@@ -131,16 +181,21 @@ let enqueue t (p : Packet.t) =
       | Red params -> red_decides_drop t params
   in
   if dropped then begin
-    if is_data p then t.drops <- t.drops + 1
+    if is_data p then begin
+      t.drops <- t.drops + 1;
+      t.dbg_data_dropped <- t.dbg_data_dropped + 1
+    end
   end
   else begin
     Stdlib.Queue.add p t.fifo;
     t.backlog <- t.backlog + 1;
     if not t.busy then serve t
-  end
+  end;
+  check_invariants t
 
 let hop t = enqueue t
 let backlog t = t.backlog
+let capacity t = t.buffer_pkts
 let arrivals t = t.arrivals
 let drops t = t.drops
 

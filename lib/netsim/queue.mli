@@ -40,6 +40,9 @@ val hop : t -> Packet.hop
 val backlog : t -> int
 (** Packets currently queued or in service. *)
 
+val capacity : t -> int
+(** The [buffer_pkts] bound the queue was created with. *)
+
 val arrivals : t -> int
 (** Data-packet arrivals (ACKs are not counted in the loss statistics). *)
 

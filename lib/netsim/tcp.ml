@@ -56,6 +56,20 @@ let min_ssthresh sub =
 
 let flight sub = sub.snd_nxt - sub.snd_una
 
+(* cwnd is measured in MSS-sized packets: below one MSS the ACK clock
+   stalls and the subflow silently starves, which shows up downstream
+   as an inexplicable throughput collapse — catch it at the source. *)
+let check_window sub =
+  if Invariant.enabled () then begin
+    Invariant.require (sub.cwnd >= 1.)
+      (Printf.sprintf "tcp flow %d subflow %d: cwnd %g < 1 MSS"
+         sub.conn.flow_id sub.idx sub.cwnd);
+    Invariant.require
+      (sub.snd_una <= sub.snd_nxt)
+      (Printf.sprintf "tcp flow %d subflow %d: snd_una %d > snd_nxt %d"
+         sub.conn.flow_id sub.idx sub.snd_una sub.snd_nxt)
+  end
+
 let views conn =
   Array.map
     (fun s ->
@@ -68,6 +82,16 @@ let views conn =
 (* --- sending ------------------------------------------------------- *)
 
 let transmit sub seq =
+  if Invariant.enabled () then begin
+    Invariant.require
+      (Array.length sub.fwd_route > 0)
+      (Printf.sprintf "tcp flow %d subflow %d: empty forward route"
+         sub.conn.flow_id sub.idx);
+    Invariant.require (seq >= sub.snd_una)
+      (Printf.sprintf
+         "tcp flow %d subflow %d: transmitting seq %d below snd_una %d"
+         sub.conn.flow_id sub.idx seq sub.snd_una)
+  end;
   let p =
     Packet.data ~flow:sub.conn.flow_id ~subflow:sub.idx ~seq
       ~sent_at:(Sim.now sub.conn.sim) ~route:sub.fwd_route
@@ -122,7 +146,8 @@ and on_timeout sub =
   sub.rto <- Stdlib.min (2. *. sub.rto) 60.;
   transmit sub sub.snd_una;
   sub.snd_nxt <- sub.snd_una + 1;
-  restart_rto sub
+  restart_rto sub;
+  check_window sub
 
 let can_assign sub =
   if sub.snd_nxt < sub.limit then true
@@ -229,7 +254,8 @@ let enter_recovery sub =
   sub.high_rtx <- sub.snd_una - 1;
   ignore (retransmit_hole sub);
   sub.cwnd <- sub.ssthresh +. float_of_int sub.dupacks;
-  ensure_rto sub
+  ensure_rto sub;
+  check_window sub
 
 let congestion_avoidance_increase sub newly =
   let conn = sub.conn in
@@ -270,6 +296,7 @@ let on_new_ack sub ackno =
      (the next segment goes out in try_send just after), and a stale
      deadline would fire spuriously mid-flight *)
   restart_rto sub;
+  check_window sub;
   check_completion conn
 
 (* Early retransmit (RFC 5827): with fewer than four segments in flight the
@@ -288,7 +315,8 @@ let on_dup_ack sub =
   else begin
     sub.dupacks <- sub.dupacks + 1;
     if sub.dupacks >= dupack_threshold sub then enter_recovery sub
-  end
+  end;
+  check_window sub
 
 let record_sack sub = function
   | None -> ()

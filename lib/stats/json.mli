@@ -1,5 +1,5 @@
-(** Minimal JSON tree and serializer for exporting experiment outcomes
-    and sweep tables to plotting tools. No parsing — emission only. *)
+(** Minimal JSON tree, serializer, and parser for exporting experiment
+    outcomes and sweep tables to plotting tools and reading them back. *)
 
 type t =
   | Null
@@ -22,3 +22,11 @@ val write : path:string -> t -> unit
 
 val pp : Format.formatter -> t -> unit
 (** Same compact rendering, as a formatter. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). Numeric
+    tokens with a ['.'] or exponent become [Float], others [Int];
+    [\u] escapes decode to UTF-8, combining surrogate pairs. Errors
+    carry the byte offset. Inverse of [to_string] up to number
+    formatting: [Float nan] serializes as [null] and does not read
+    back as a float. *)

@@ -1,0 +1,270 @@
+(* The engine takes (path, content) pairs, so every fixture is inline:
+   the path picks which rules apply, the content triggers (or avoids)
+   them. *)
+
+open Repro_lint
+
+let lint ?(path = "lib/foo/fixture.ml") content =
+  Engine.lint_sources [ { Engine.path; content } ]
+
+let count rule findings =
+  List.length (List.filter (fun (f : Finding.t) -> f.rule = rule) findings)
+
+let check_count name rule expected findings =
+  Alcotest.(check int) name expected (count rule findings)
+
+(* --- R1: determinism ------------------------------------------------ *)
+
+let r1_fixture =
+  {|
+let roll () = Random.int 6
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let fine () = 42
+|}
+
+let test_r1_fires () =
+  check_count "three ambient sources" Finding.R1 3 (lint r1_fixture);
+  check_count "self-init too" Finding.R1 1
+    (lint "let () = Random.self_init ()")
+
+let test_r1_rng_exempt () =
+  check_count "rng.ml is the one place allowed" Finding.R1 0
+    (lint ~path:"lib/netsim/rng.ml" r1_fixture)
+
+(* --- R2: domain-safety ---------------------------------------------- *)
+
+let test_r2_fires () =
+  let f =
+    lint
+      {|
+let table = Hashtbl.create 16
+let counter = ref 0
+let buf = Buffer.create 64
+let pure x = x + 1
+|}
+  in
+  check_count "three module-level mutables" Finding.R2 3 f
+
+let test_r2_ignores_local_state () =
+  check_count "refs inside functions are fine" Finding.R2 0
+    (lint {|
+let sum xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc
+|})
+
+let test_r2_lib_only () =
+  check_count "bin/ may hold state" Finding.R2 0
+    (lint ~path:"bin/tool.ml" "let cache = Hashtbl.create 8")
+
+let test_r2_mutable_record () =
+  let f =
+    lint
+      {|
+type t = { mutable n : int }
+let shared = { n = 0 }
+let make () = { n = 0 }
+|}
+  in
+  check_count "module-level literal only" Finding.R2 1 f
+
+(* --- R3: float-hygiene ---------------------------------------------- *)
+
+let test_r3_fires () =
+  let f =
+    lint ~path:"lib/fluid/fix.ml"
+      {|
+let is_zero x = x = 0.
+let differs a b = a +. 1. <> b
+let order a b = compare (a *. 2.) b
+|}
+  in
+  check_count "three structural float comparisons" Finding.R3 3 f
+
+let test_r3_scoped_to_numerics () =
+  check_count "outside lib/fluid and lib/cc" Finding.R3 0
+    (lint ~path:"lib/netsim/x.ml" "let is_zero x = x = 0.")
+
+let test_r3_int_compare_fine () =
+  check_count "integer equality untouched" Finding.R3 0
+    (lint ~path:"lib/cc/y.ml" "let f a b = a = b + 1")
+
+(* --- R4: output hygiene --------------------------------------------- *)
+
+let r4_fixture =
+  {|
+let hello () = Printf.printf "hi %d" 3
+let bye () = print_endline "bye"
+|}
+
+let test_r4_fires () =
+  check_count "stdout printers in lib/" Finding.R4 2 (lint r4_fixture)
+
+let test_r4_bin_exempt () =
+  check_count "bin/ owns stdout" Finding.R4 0
+    (lint ~path:"bin/cli.ml" r4_fixture)
+
+(* --- R5: registry completeness -------------------------------------- *)
+
+let scenario = "let run () = ()"
+
+let lint_pair registry =
+  Engine.lint_sources
+    [
+      { Engine.path = "lib/scenarios/orphan.ml"; content = scenario };
+      { Engine.path = "lib/scenarios/registry.ml"; content = registry };
+    ]
+
+let test_r5_orphan () =
+  check_count "unregistered scenario" Finding.R5 1
+    (lint_pair "let all = []")
+
+let test_r5_registered () =
+  check_count "referenced scenario" Finding.R5 0
+    (lint_pair {|let all = [ ("orphan", Orphan.run) ]|})
+
+(* --- clean code, parse errors --------------------------------------- *)
+
+let test_clean_passes () =
+  Alcotest.(check int)
+    "no findings" 0
+    (List.length
+       (lint
+          {|
+let add a b = a + b
+
+let fold xs =
+  let rec go acc = function [] -> acc | x :: tl -> go (acc + x) tl in
+  go 0 xs
+|}))
+
+let test_parse_error () =
+  let f = lint "let = = =" in
+  check_count "one parse finding" Finding.Parse 1 f;
+  Alcotest.(check int) "and nothing else" 1 (List.length f)
+
+(* --- suppressions --------------------------------------------------- *)
+
+let test_suppress_line () =
+  check_count "directive above the line waives it" Finding.R4 0
+    (lint
+       {|
+(* lint: allow R4 -- fixture exercising the waiver *)
+let hello () = print_endline "hi"
+|})
+
+let test_suppress_file () =
+  let f =
+    lint
+      {|
+(* lint: allow-file R4 -- harness fixture prints on purpose *)
+let a () = print_endline "a"
+let b () = print_string "b"
+|}
+  in
+  check_count "whole file waived" Finding.R4 0 f
+
+let test_suppress_wrong_rule () =
+  check_count "waiving R1 does not silence R4" Finding.R4 1
+    (lint
+       {|
+(* lint: allow R1 -- wrong rule on purpose *)
+let hello () = print_endline "hi"
+|})
+
+let test_suppress_needs_reason () =
+  let f = lint {|
+(* lint: allow R4 *)
+let hello () = print_endline "hi"
+|} in
+  check_count "reason-less directive is itself a finding" Finding.Suppress 1 f;
+  check_count "and does not waive anything" Finding.R4 1 f
+
+let test_suppress_unknown_rule () =
+  check_count "unknown rule id rejected" Finding.Suppress 1
+    (lint "(* lint: allow R9 -- no such rule *)\nlet x = 1")
+
+let test_suppress_in_string_ignored () =
+  check_count "directive text inside a string literal is inert"
+    Finding.Suppress 0
+    (lint {|let doc = "(* lint: allow R4 *)"|});
+  check_count "same inside a quoted string" Finding.Suppress 0
+    (lint "let doc = {q|(* lint: allow R4 *)|q}");
+  check_count "and the quoted string hides nothing after it" Finding.R4 1
+    (lint "let doc = {q|(* lint: allow-file R4 -- x *)|q}\n\
+           let p () = print_endline doc")
+
+(* --- reporters ------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_text () =
+  let f = lint r4_fixture in
+  let text = Report.to_text ~files:1 f in
+  Alcotest.(check bool) "names the rule" true (contains ~needle:"R4" text);
+  Alcotest.(check bool) "names the file" true
+    (contains ~needle:"lib/foo/fixture.ml" text);
+  Alcotest.(check bool) "clean tree says so" true
+    (contains ~needle:"clean" (Report.to_text ~files:3 []))
+
+let test_report_json () =
+  (* serialize and re-parse: exercises the reporter and the Json
+     round-trip together *)
+  match
+    Repro_stats.Json.of_string
+      (Repro_stats.Json.to_string (Report.to_json ~files:1 (lint r4_fixture)))
+  with
+  | Error e -> Alcotest.fail ("report is not valid JSON: " ^ e)
+  | Ok (Repro_stats.Json.Obj fields) ->
+    (match List.assoc_opt "count" fields with
+    | Some (Repro_stats.Json.Int n) -> Alcotest.(check int) "count" 2 n
+    | _ -> Alcotest.fail "missing count");
+    (match List.assoc_opt "clean" fields with
+    | Some (Repro_stats.Json.Bool b) -> Alcotest.(check bool) "clean" false b
+    | _ -> Alcotest.fail "missing clean")
+  | Ok _ -> Alcotest.fail "report is not a JSON object"
+
+let suite =
+  [
+    Alcotest.test_case "R1 fires on ambient randomness/clocks" `Quick
+      test_r1_fires;
+    Alcotest.test_case "R1 exempts lib/netsim/rng.ml" `Quick test_r1_rng_exempt;
+    Alcotest.test_case "R2 fires on module-level mutables" `Quick test_r2_fires;
+    Alcotest.test_case "R2 ignores function-local state" `Quick
+      test_r2_ignores_local_state;
+    Alcotest.test_case "R2 scoped to lib/" `Quick test_r2_lib_only;
+    Alcotest.test_case "R2 catches mutable-record literals" `Quick
+      test_r2_mutable_record;
+    Alcotest.test_case "R3 fires on structural float comparison" `Quick
+      test_r3_fires;
+    Alcotest.test_case "R3 scoped to numeric libraries" `Quick
+      test_r3_scoped_to_numerics;
+    Alcotest.test_case "R3 leaves integer comparison alone" `Quick
+      test_r3_int_compare_fine;
+    Alcotest.test_case "R4 fires on lib/ stdout printing" `Quick test_r4_fires;
+    Alcotest.test_case "R4 exempts bin/" `Quick test_r4_bin_exempt;
+    Alcotest.test_case "R5 flags unregistered scenarios" `Quick test_r5_orphan;
+    Alcotest.test_case "R5 accepts referenced scenarios" `Quick
+      test_r5_registered;
+    Alcotest.test_case "clean code produces no findings" `Quick
+      test_clean_passes;
+    Alcotest.test_case "unparseable file yields one finding" `Quick
+      test_parse_error;
+    Alcotest.test_case "line suppression honored" `Quick test_suppress_line;
+    Alcotest.test_case "file suppression honored" `Quick test_suppress_file;
+    Alcotest.test_case "suppression is rule-specific" `Quick
+      test_suppress_wrong_rule;
+    Alcotest.test_case "suppression without reason rejected" `Quick
+      test_suppress_needs_reason;
+    Alcotest.test_case "suppression with unknown rule rejected" `Quick
+      test_suppress_unknown_rule;
+    Alcotest.test_case "directive inside string literal inert" `Quick
+      test_suppress_in_string_ignored;
+    Alcotest.test_case "text report" `Quick test_report_text;
+    Alcotest.test_case "json report" `Quick test_report_json;
+  ]

@@ -15,4 +15,5 @@ let () =
       ("infra", Test_infra.suite);
       ("failure", Test_failure.suite);
       ("common", Test_common.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -413,3 +413,80 @@ let suite =
       test_queue_utilization_and_reset;
     Alcotest.test_case "queue: invalid args" `Quick test_queue_invalid_args;
   ]
+
+(* --- Invariant -------------------------------------------------------- *)
+
+(* arm/disarm around each body so the rest of the suite keeps its
+   default-off behaviour *)
+let with_invariants f =
+  Invariant.set_enabled true;
+  Fun.protect ~finally:(fun () -> Invariant.set_enabled false) f
+
+let test_invariant_gate () =
+  Invariant.set_enabled false;
+  Alcotest.(check bool) "disarmed" false (Invariant.enabled ());
+  with_invariants (fun () ->
+      Alcotest.(check bool) "armed" true (Invariant.enabled ());
+      Invariant.require true "never raised";
+      Alcotest.check_raises "require false"
+        (Invariant.Violation "broken") (fun () ->
+          Invariant.require false "broken"))
+
+let test_invariant_route_overrun () =
+  with_invariants (fun () ->
+      let p = Packet.data ~flow:0 ~subflow:0 ~seq:0 ~sent_at:0. ~route:[||] in
+      match Packet.forward p with
+      | () -> Alcotest.fail "empty route accepted"
+      | exception Invariant.Violation _ -> ())
+
+let test_invariant_queue_clean_run () =
+  (* the droptail overflow scenario again, with conservation checks
+     armed on every enqueue and service completion: a miscount raises *)
+  with_invariants (fun () ->
+      let sim = Sim.create () in
+      let rng = Rng.create ~seed:1 in
+      let q = Queue.create ~sim ~rng ~rate_bps:12e6 ~buffer_pkts:5
+          ~discipline:Queue.Droptail () in
+      let delivered = ref 0 in
+      let sink (_ : Packet.t) = incr delivered in
+      let route = [| Queue.hop q; sink |] in
+      Sim.schedule_at sim 0. (fun () ->
+          for i = 0 to 19 do
+            Packet.forward (data_to ~route i)
+          done);
+      Sim.run sim;
+      Alcotest.(check int) "five pass" 5 !delivered;
+      Alcotest.(check int) "capacity exposed" 5 (Queue.capacity q))
+
+let test_invariant_survives_stats_reset () =
+  (* reset_stats must not zero the conservation counters mid-run *)
+  with_invariants (fun () ->
+      let sim = Sim.create () in
+      let rng = Rng.create ~seed:7 in
+      let q = Queue.create ~sim ~rng ~rate_bps:12e6 ~buffer_pkts:8
+          ~discipline:Queue.Droptail () in
+      let route = [| Queue.hop q; (fun (_ : Packet.t) -> ()) |] in
+      Sim.schedule_at sim 0. (fun () ->
+          for i = 0 to 5 do
+            Packet.forward (data_to ~route i)
+          done);
+      Sim.schedule_at sim 0.001 (fun () -> Queue.reset_stats q);
+      Sim.schedule_at sim 0.002 (fun () ->
+          for i = 6 to 11 do
+            Packet.forward (data_to ~route i)
+          done);
+      Sim.run sim;
+      Alcotest.(check int) "post-reset arrivals only" 6 (Queue.arrivals q))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "invariant: gate and require" `Quick
+        test_invariant_gate;
+      Alcotest.test_case "invariant: route overrun caught" `Quick
+        test_invariant_route_overrun;
+      Alcotest.test_case "invariant: conservation on clean run" `Quick
+        test_invariant_queue_clean_run;
+      Alcotest.test_case "invariant: counters survive reset_stats" `Quick
+        test_invariant_survives_stats_reset;
+    ]

@@ -299,3 +299,144 @@ let test_table_csv_export () =
 let suite =
   suite
   @ [ Alcotest.test_case "table: csv export" `Quick test_table_csv_export ]
+
+(* --- Json ----------------------------------------------------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> Float.equal x y
+  | Json.String x, Json.String y -> String.equal x y
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+         xs ys
+  | _ -> false
+
+let roundtrip name j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) name true (json_equal j j')
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_json_escapes () =
+  let s = "quote\" back\\ nl\n cr\r tab\t bs\b ff\012 nul\000 del\127" in
+  Alcotest.(check string)
+    "rendering"
+    "\"quote\\\" back\\\\ nl\\n cr\\r tab\\t bs\\b ff\\f nul\\u0000 \
+     del\\u007f\""
+    (Json.to_string (Json.String s));
+  roundtrip "control chars round-trip" (Json.String s)
+
+let test_json_unicode_escapes () =
+  (* \u escapes decode to UTF-8, including surrogate pairs *)
+  let check name input expected =
+    match Json.of_string input with
+    | Ok (Json.String s) -> Alcotest.(check string) name expected s
+    | Ok _ -> Alcotest.fail (name ^ ": not a string")
+    | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  in
+  check "2-byte" "\"\\u00e9\"" "\xc3\xa9";
+  check "3-byte" "\"\\u20ac\"" "\xe2\x82\xac";
+  check "surrogate pair" "\"\\ud83d\\ude00\"" "\xf0\x9f\x98\x80";
+  match Json.of_string "\"\\ud83d\"" with
+  | Ok _ -> Alcotest.fail "unpaired surrogate accepted"
+  | Error _ -> ()
+
+let test_json_float_typed () =
+  (* integral floats keep a float-typed token so documents read back
+     with the same constructors they were written with *)
+  Alcotest.(check string) "integral" "1.0" (Json.to_string (Json.Float 1.));
+  Alcotest.(check string) "int stays int" "1" (Json.to_string (Json.Int 1));
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  roundtrip "float 1." (Json.Float 1.);
+  roundtrip "float 0.1" (Json.Float 0.1);
+  roundtrip "float -2e30" (Json.Float (-2e30))
+
+let test_json_parse_basics () =
+  let ok name input expected =
+    match Json.of_string input with
+    | Ok j -> Alcotest.(check bool) name true (json_equal expected j)
+    | Error e -> Alcotest.fail (name ^ ": " ^ e)
+  in
+  ok "null" " null " Json.Null;
+  ok "true" "true" (Json.Bool true);
+  ok "int" "-42" (Json.Int (-42));
+  ok "float" "2.5e3" (Json.Float 2500.);
+  ok "empty list" "[]" (Json.List []);
+  ok "empty obj" "{ }" (Json.Obj []);
+  ok "nested"
+    "{\"a\": [1, 2.0, \"x\"], \"b\": {\"c\": null}}"
+    (Json.Obj
+       [
+         ("a", Json.List [ Json.Int 1; Json.Float 2.; Json.String "x" ]);
+         ("b", Json.Obj [ ("c", Json.Null) ]);
+       ])
+
+let test_json_parse_errors () =
+  let bad name input =
+    match Json.of_string input with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error _ -> ()
+  in
+  bad "empty" "";
+  bad "trailing" "1 2";
+  bad "unterminated string" "\"abc";
+  bad "bad escape" "\"\\q\"";
+  bad "unclosed list" "[1, 2";
+  bad "missing colon" "{\"a\" 1}";
+  bad "bare word" "nope"
+
+let prop_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self size ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+                map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+                map (fun s -> Json.String s) string_printable;
+              ]
+          in
+          if size <= 0 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                ( 1,
+                  map
+                    (fun xs -> Json.List xs)
+                    (list_size (int_range 0 4) (self (size / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (int_range 0 4)
+                       (pair string_printable (self (size / 2)))) );
+              ]))
+  in
+  QCheck.Test.make ~name:"json: to_string |> of_string round-trips" ~count:300
+    (QCheck.make gen)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> json_equal j j'
+      | Error _ -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "json: escape rendering" `Quick test_json_escapes;
+      Alcotest.test_case "json: unicode escapes" `Quick
+        test_json_unicode_escapes;
+      Alcotest.test_case "json: float-typed numbers" `Quick
+        test_json_float_typed;
+      Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
+      Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+      QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    ]
