@@ -834,9 +834,24 @@ let ablation_wireless () =
 
 (* ----- Bechamel micro-benchmarks --------------------------------------- *)
 
-let micro () =
-  section "Micro-benchmarks (Bechamel)";
+(* Fixed integer busy loop measured alongside the hot paths: a
+   machine-speed proxy, so snapshots taken on different machines can be
+   compared after normalizing by its ratio (Obs.Snapshot.regressions). *)
+let calibration_work () =
+  let acc = ref 0 in
+  for i = 1 to 10_000 do
+    acc := (!acc + (i * 7919)) land 0xFFFFFF
+  done;
+  Sys.opaque_identity !acc
+
+let calibration_name = "calibrate: int work"
+
+let micro_estimates () =
   let open Bechamel in
+  let calibrate =
+    Test.make ~name:calibration_name
+      (Staged.stage (fun () -> ignore (calibration_work ())))
+  in
   let sim_heap =
     Test.make ~name:"sim: schedule+run 1k events"
       (Staged.stage (fun () ->
@@ -898,7 +913,7 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"mptcp_repro"
-      [ sim_heap; olia_inc; lia_inc; scen_c_solve; packet_sim ]
+      [ calibrate; sim_heap; olia_inc; lia_inc; scen_c_solve; packet_sim ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
@@ -916,9 +931,117 @@ let micro () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> rows := (name, nan) :: !rows)
     results;
+  List.sort compare !rows
+
+let micro () =
+  section "Micro-benchmarks (Bechamel)";
   List.iter
     (fun (name, est) -> Printf.printf "%-45s %14.1f ns/run\n" name est)
-    (List.sort compare !rows)
+    (micro_estimates ())
+
+(* ----- perf snapshots (BENCH_*.json) ----------------------------------- *)
+
+module Obs = Mptcp_repro.Obs
+
+(* Wall-clock per simulated second on two representative scenarios,
+   best-of-N to shave scheduler noise. *)
+let scenario_wall_entries () =
+  let best_of n f =
+    let rec go i best =
+      if i >= n then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        go (i + 1) (Stdlib.min best (Unix.gettimeofday () -. t0))
+      end
+    in
+    go 0 infinity
+  in
+  let reps = if !quick then 2 else 3 in
+  let sim_s = 40. in
+  let scen_a () =
+    ignore
+      (S.Scen_a.run { S.Scen_a.default with duration = sim_s; warmup = 10. })
+  in
+  let two_bottleneck () =
+    ignore
+      (S.Two_bottleneck.run
+         { S.Two_bottleneck.symmetric with duration = sim_s })
+  in
+  [
+    Obs.Snapshot.entry ~name:"scenario/scenario-a"
+      ~value:(best_of reps scen_a /. sim_s)
+      ~units:"s_wall/s_sim";
+    Obs.Snapshot.entry ~name:"scenario/two-bottleneck"
+      ~value:(best_of reps two_bottleneck /. sim_s)
+      ~units:"s_wall/s_sim";
+  ]
+
+let contains_substring ~needle hay =
+  let nn = String.length needle and nh = String.length hay in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let take_snapshot () =
+  section "Perf snapshot";
+  let entries =
+    List.map
+      (fun (name, est) ->
+        (* the calibration row keeps its canonical entry name so
+           Snapshot.regressions can find it in both snapshots *)
+        if contains_substring ~needle:calibration_name name then
+          Obs.Snapshot.entry ~name:Obs.Snapshot.calibration_entry ~value:est
+            ~units:"ns/run"
+        else Obs.Snapshot.entry ~name:("micro/" ^ name) ~value:est
+            ~units:"ns/run")
+      (micro_estimates ())
+    @ scenario_wall_entries ()
+  in
+  Obs.Snapshot.v ~quick:!quick entries
+
+(* Returns false when the baseline comparison found regressions. *)
+let snapshot_and_compare ~path ~baseline ~tolerance =
+  let snap = take_snapshot () in
+  Obs.Snapshot.write ~path snap;
+  Printf.printf "wrote %s (%d entries)\n" path
+    (List.length snap.Obs.Snapshot.entries);
+  match baseline with
+  | None -> true
+  | Some bpath -> (
+    match Obs.Snapshot.read ~path:bpath with
+    | Error e ->
+      Printf.eprintf "cannot read baseline %s: %s\n" bpath e;
+      false
+    | Ok base ->
+      let regs =
+        Obs.Snapshot.regressions ~baseline:base ~current:snap ~tolerance ()
+      in
+      (match
+         ( Obs.Snapshot.find base Obs.Snapshot.calibration_entry,
+           Obs.Snapshot.find snap Obs.Snapshot.calibration_entry )
+       with
+      | Some b, Some c ->
+        Printf.printf
+          "calibration: baseline %.1f ns, here %.1f ns (normalizing by \
+           %.2fx)\n"
+          b c (b /. c)
+      | _ -> print_endline "calibration entry missing: comparing raw values");
+      if regs = [] then begin
+        Printf.printf "no perf regressions vs %s (tolerance %.0f%%)\n" bpath
+          (100. *. tolerance);
+        true
+      end
+      else begin
+        List.iter
+          (fun (r : Obs.Snapshot.regression) ->
+            Printf.printf
+              "REGRESSION %-45s baseline %.4g -> current %.4g (%.2fx, limit \
+               %.2fx)\n"
+              r.Obs.Snapshot.name r.Obs.Snapshot.baseline
+              r.Obs.Snapshot.current r.Obs.Snapshot.ratio (1. +. tolerance))
+          regs;
+        false
+      end)
 
 (* ----- driver ----------------------------------------------------------- *)
 
@@ -956,23 +1079,58 @@ let targets : (string * string * (unit -> unit)) list =
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--quick" ->
-          quick := true;
-          false
-        | "--list" ->
-          List.iter (fun (n, d, _) -> Printf.printf "%-14s %s\n" n d) targets;
-          exit 0
-        | _ -> true)
-      args
+  let snapshot_path = ref None in
+  let baseline_path = ref None in
+  let tolerance = ref 0.2 in
+  let usage () =
+    print_endline
+      "usage: bench [--quick] [--list] [--snapshot FILE [--baseline FILE] \
+       [--tolerance F]] [TARGET...]";
+    List.iter (fun (n, d, _) -> Printf.printf "%-14s %s\n" n d) targets
   in
+  let value flag = function
+    | v :: rest -> (v, rest)
+    | [] ->
+      Printf.eprintf "%s needs a value\n" flag;
+      exit 1
+  in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--quick" :: rest ->
+      quick := true;
+      parse names rest
+    | "--list" :: _ ->
+      usage ();
+      exit 0
+    | "--snapshot" :: rest ->
+      let v, rest = value "--snapshot" rest in
+      snapshot_path := Some v;
+      parse names rest
+    | "--baseline" :: rest ->
+      let v, rest = value "--baseline" rest in
+      baseline_path := Some v;
+      parse names rest
+    | "--tolerance" :: rest -> (
+      let v, rest = value "--tolerance" rest in
+      match float_of_string_opt v with
+      | Some f when f > 0. ->
+        tolerance := f;
+        parse names rest
+      | Some _ | None ->
+        Printf.eprintf "--tolerance needs a positive float, got %s\n" v;
+        exit 1)
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %s\n" a;
+      usage ();
+      exit 1
+    | a :: rest -> parse (a :: names) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let to_run =
     match args with
-    | [] -> targets
+    | [] ->
+      (* bare --snapshot is a dedicated mode: skip the full target sweep *)
+      if !snapshot_path <> None then [] else targets
     | names ->
       List.map
         (fun n ->
@@ -990,4 +1148,12 @@ let () =
       f ();
       Printf.printf "[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t1))
     to_run;
-  Printf.printf "\nall targets finished in %.1f s\n" (Unix.gettimeofday () -. t0)
+  let ok =
+    match !snapshot_path with
+    | None -> true
+    | Some path ->
+      snapshot_and_compare ~path ~baseline:!baseline_path
+        ~tolerance:!tolerance
+  in
+  Printf.printf "\nall targets finished in %.1f s\n" (Unix.gettimeofday () -. t0);
+  if not ok then exit 1

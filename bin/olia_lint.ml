@@ -2,7 +2,7 @@
 
    Walks every .ml/.mli under the given roots (default: lib bin bench
    test), parses them with compiler-libs and enforces the invariant
-   catalogue R1-R5 described in docs/LINT.md. Exit status: 0 clean,
+   catalogue R1-R6 described in docs/LINT.md. Exit status: 0 clean,
    1 findings, 2 usage error. *)
 
 let usage = "usage: olia_lint [--json] [--rules] [DIR|FILE ...]"

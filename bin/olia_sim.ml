@@ -96,11 +96,28 @@ let print_outcome outcome =
       Printf.printf "%-24s [%d values]\n" name (Array.length a))
     outcome.E.Outcome.arrays
 
-let run_generic name params out =
+let trace_opt =
+  let doc =
+    "Stream structured simulator events (packet enqueue/drop/forward, TCP \
+     state transitions, cwnd updates, RTO, subflow add/remove) to $(docv) \
+     as JSONL, one event object per line."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let run_generic name params out trace =
   try
     let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
     let bindings = List.map (E.Spec.parse_assign Sc.spec) params in
-    let outcome = Sc.run bindings in
+    let outcome =
+      match trace with
+      | None -> Sc.run bindings
+      | Some path ->
+        let outcome =
+          Mptcp_repro.Obs.Trace.with_jsonl ~path (fun () -> Sc.run bindings)
+        in
+        Printf.printf "wrote trace %s\n" path;
+        outcome
+    in
     Printf.printf "%s:\n" name;
     print_outcome outcome;
     Option.iter
@@ -124,7 +141,8 @@ let run_generic name params out =
 let run_cmd =
   let doc = "Run any registered scenario once, driven by its spec." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run_generic $ scenario_pos $ params_opt $ out_opt))
+    Term.(
+      ret (const run_generic $ scenario_pos $ params_opt $ out_opt $ trace_opt))
 
 let axes_opt =
   let doc =

@@ -12,6 +12,8 @@
       plus the name-based {!Scenarios.Registry};
     - {!Exp} — the uniform experiment API and the multicore
       parameter-sweep engine;
+    - {!Obs} — the observability layer: structured event tracing,
+      per-run counters/timers, and perf snapshots for the CI gate;
     - {!Stats} — summaries, histograms, time series, table printing and
       the CSV/JSON emitters. *)
 
@@ -69,6 +71,12 @@ module Exp = struct
   module Outcome = Repro_exp.Outcome
   module Scenario_intf = Repro_exp.Scenario_intf
   module Sweep = Repro_exp.Sweep
+end
+
+module Obs = struct
+  module Trace = Repro_obs.Trace
+  module Meter = Repro_obs.Meter
+  module Snapshot = Repro_obs.Snapshot
 end
 
 module Scenarios = struct

@@ -4,6 +4,7 @@ type t = {
 }
 
 let of_metrics ?(arrays = []) metrics = { metrics; arrays }
+let add_metrics t extra = { t with metrics = t.metrics @ extra }
 
 let metric_opt t name = List.assoc_opt name t.metrics
 

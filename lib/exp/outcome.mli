@@ -11,6 +11,10 @@ type t = {
 
 val of_metrics : ?arrays:(string * float array) list -> (string * float) list -> t
 
+val add_metrics : t -> (string * float) list -> t
+(** Append metrics (e.g. the observability counters) after the
+    scenario's own, preserving display order. *)
+
 val metric : t -> string -> float
 (** Raises [Invalid_argument] (listing the available metrics) when
     absent. *)

@@ -10,7 +10,7 @@ type source = { path : string; content : string }
 
 val lint_sources : source list -> Finding.t list
 (** Parse every source ([.ml] as implementation, [.mli] as interface),
-    run R1-R4 per file and R5 across files, then drop findings waived
+    run R1-R4 and R6 per file and R5 across files, then drop findings waived
     by valid {!Suppress} directives. Unparseable files yield a single
     [Parse] finding; malformed directives yield [Suppress] findings.
     Neither of those two can be waived. *)

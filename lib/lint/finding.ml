@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | Parse | Suppress
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse | Suppress
 
 let rule_name = function
   | R1 -> "R1"
@@ -6,6 +6,7 @@ let rule_name = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
   | Parse -> "parse"
   | Suppress -> "suppress"
 
@@ -15,6 +16,7 @@ let rule_of_name = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let rule_doc = function
@@ -33,6 +35,9 @@ let rule_doc = function
   | R5 ->
     "registry completeness: every scenario module in lib/scenarios is \
      reachable from Scenarios.Registry"
+  | R6 ->
+    "error hygiene: ignore of a result value silently discards the Error \
+     case (match on it or propagate it)"
   | Parse -> "the file must parse before any rule can run"
   | Suppress -> "suppression directives need valid rule ids and a reason"
 
@@ -42,8 +47,9 @@ let rule_index = function
   | R3 -> 3
   | R4 -> 4
   | R5 -> 5
-  | Parse -> 6
-  | Suppress -> 7
+  | R6 -> 6
+  | Parse -> 7
+  | Suppress -> 8
 
 type t = {
   rule : rule;

@@ -10,14 +10,15 @@ type rule =
   | R3  (** float-hygiene: structural [=]/[<>]/[compare] on floats *)
   | R4  (** output hygiene: stdout printing from [lib/] *)
   | R5  (** registry completeness: scenario unreachable from the registry *)
+  | R6  (** error hygiene: [ignore] of a [result] value *)
   | Parse  (** the file does not parse; nothing else was checked *)
   | Suppress  (** malformed suppression directive *)
 
 val rule_name : rule -> string
-(** ["R1"] ... ["R5"], ["parse"], ["suppress"]. *)
+(** ["R1"] ... ["R6"], ["parse"], ["suppress"]. *)
 
 val rule_of_name : string -> rule option
-(** Inverse of {!rule_name} for the suppressible rules R1-R5 only:
+(** Inverse of {!rule_name} for the suppressible rules R1-R6 only:
     [Parse] and [Suppress] findings cannot be waived. *)
 
 val rule_doc : rule -> string

@@ -34,6 +34,7 @@ let scope_r3 path =
   under [ "lib"; "fluid" ] path || under [ "lib"; "cc" ] path
 
 let scope_r4 path = under [ "lib" ] path
+let scope_r6 _ = true
 
 (* --- longident helpers ----------------------------------------------- *)
 
@@ -315,6 +316,60 @@ let check_r4 ~path structure =
   it.structure it structure;
   !found
 
+(* --- R6: error hygiene ----------------------------------------------- *)
+
+(* Combinators and repo entry points that return a [result]. As with
+   R3, this is syntactic evidence, not typing: the listed names cover
+   how result values are actually produced in this codebase. *)
+let r6_result_fns =
+  [
+    "Result.map";
+    "Result.map_error";
+    "Result.bind";
+    "Result.join";
+    "Json.of_string";
+    "Repro_stats.Json.of_string";
+    "Trace.of_json";
+    "Repro_obs.Trace.of_json";
+    "Snapshot.read";
+    "Repro_obs.Snapshot.read";
+  ]
+
+let rec is_resultish e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("Ok" | "Error"); _ }, Some _) ->
+    true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt; _ }, _); _ }) ->
+    let name = canonical (lid_name txt) in
+    name = "result" || name = "Result.t"
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    List.mem (canonical (lid_name txt)) r6_result_fns
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+    List.exists (fun c -> is_resultish c.pc_rhs) cases
+  | Pexp_ifthenelse (_, a, Some b) -> is_resultish a || is_resultish b
+  | Pexp_sequence (_, e) | Pexp_let (_, _, e) -> is_resultish e
+  | _ -> false
+
+let check_r6 ~path structure =
+  let found = ref [] in
+  let expr self e =
+    (match e.pexp_desc with
+     | Pexp_apply
+         ( { pexp_desc = Pexp_ident { txt; loc }; _ },
+           [ (Asttypes.Nolabel, arg) ] )
+       when canonical (lid_name txt) = "ignore" && is_resultish arg ->
+       found :=
+         finding ~rule:Finding.R6 ~path loc
+           "ignore of a result value: the Error case is silently dropped \
+            (match on it, or propagate it with Result.bind)"
+         :: !found
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it structure;
+  !found
+
 (* --- R5: registry completeness --------------------------------------- *)
 
 let basename path =
@@ -438,4 +493,5 @@ let check_structure ~path structure =
   let r2 = if scope_r2 path then check_r2 ~path structure else [] in
   let r3 = if scope_r3 path then check_r3 ~path structure else [] in
   let r4 = if scope_r4 path then check_r4 ~path structure else [] in
-  r1 @ r2 @ r3 @ r4
+  let r6 = if scope_r6 path then check_r6 ~path structure else [] in
+  r1 @ r2 @ r3 @ r4 @ r6

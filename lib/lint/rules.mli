@@ -1,4 +1,4 @@
-(** The rule catalogue R1-R5.
+(** The rule catalogue R1-R6.
 
     Rules are purely syntactic (no typing pass), so each one errs on
     the side of precision over recall; docs/LINT.md records the
@@ -17,8 +17,13 @@ val scope_r3 : string -> bool
 val scope_r4 : string -> bool
 (** [lib/] only. *)
 
+val scope_r6 : string -> bool
+(** Everywhere: discarding an [Error] is equally wrong in binaries,
+    benches and tests. *)
+
 val check_structure : path:string -> Parsetree.structure -> Finding.t list
-(** Run R1-R4 (as scoped for [path]) over one parsed implementation. *)
+(** Run R1-R4 and R6 (as scoped for [path]) over one parsed
+    implementation. *)
 
 val check_registry :
   sources:(string * Parsetree.structure) list -> Finding.t list

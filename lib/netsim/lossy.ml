@@ -1,20 +1,38 @@
+module Trace = Repro_obs.Trace
+
 type t = {
   rng : Rng.t;
   loss_prob : float;
+  sim : Sim.t option;  (* for trace timestamps only *)
+  name : string;
   mutable dropped : int;
   mutable passed : int;
 }
 
-let create ~rng ~loss_prob =
+let create ?sim ?(name = "lossy") ~rng ~loss_prob () =
   if loss_prob < 0. || loss_prob >= 1. then
     invalid_arg "Lossy.create: loss_prob must be in [0, 1)";
-  { rng; loss_prob; dropped = 0; passed = 0 }
+  { rng; loss_prob; sim; name; dropped = 0; passed = 0 }
 
 let hop t (p : Packet.t) =
   match p.kind with
   | Packet.Ack _ -> Packet.forward p
   | Packet.Data ->
-    if Rng.float t.rng < t.loss_prob then t.dropped <- t.dropped + 1
+    if Rng.float t.rng < t.loss_prob then begin
+      t.dropped <- t.dropped + 1;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Pkt_drop
+             {
+               time = (match t.sim with Some s -> Sim.now s | None -> nan);
+               queue = t.name;
+               flow = p.flow;
+               subflow = p.subflow;
+               seq = p.seq;
+               kind = Packet.kind_name p;
+               cause = Trace.Random_loss;
+             })
+    end
     else begin
       t.passed <- t.passed + 1;
       Packet.forward p

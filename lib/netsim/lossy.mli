@@ -6,8 +6,12 @@
 
 type t
 
-val create : rng:Rng.t -> loss_prob:float -> t
-(** Raises [Invalid_argument] unless [0 <= loss_prob < 1]. *)
+val create :
+  ?sim:Sim.t -> ?name:string -> rng:Rng.t -> loss_prob:float -> unit -> t
+(** Raises [Invalid_argument] unless [0 <= loss_prob < 1]. [sim] and
+    [name] (default ["lossy"]) only feed trace events: drops are
+    reported with [Trace.Random_loss], timestamped from [sim] when
+    given (nan otherwise). *)
 
 val hop : t -> Packet.hop
 val dropped : t -> int

@@ -56,6 +56,9 @@ let watch_backlog t name q =
              name b (Queue.capacity q));
       float_of_int b)
 
+let watch_drops t name q =
+  watch t name (fun () -> float_of_int (Queue.drops q))
+
 let watch_loss t name q =
   watch t name (fun () ->
       let p = Queue.loss_probability q in

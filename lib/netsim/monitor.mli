@@ -30,6 +30,10 @@ val watch_goodput : t -> string -> Tcp.conn -> unit
     delivered packets). *)
 
 val watch_backlog : t -> string -> Queue.t -> unit
+
+val watch_drops : t -> string -> Queue.t -> unit
+(** Cumulative data-packet drops of a queue (since [reset_stats]). *)
+
 val watch_loss : t -> string -> Queue.t -> unit
 (** Cumulative loss probability of a queue. *)
 

@@ -15,6 +15,7 @@ and hop = t -> unit
 
 let data_size = 1500
 let ack_size = 40
+let kind_name p = match p.kind with Data -> "data" | Ack _ -> "ack"
 
 let data ~flow ~subflow ~seq ~sent_at ~route =
   { kind = Data; seq; size_bytes = data_size; flow; subflow; hop = 0;

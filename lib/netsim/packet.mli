@@ -31,6 +31,9 @@ val data_size : int
 val ack_size : int
 (** 40 bytes. *)
 
+val kind_name : t -> string
+(** ["data"] or ["ack"], for trace events. *)
+
 val data : flow:int -> subflow:int -> seq:int -> sent_at:float ->
   route:hop array -> t
 (** A data packet positioned at the first hop of [route]. *)

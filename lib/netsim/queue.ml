@@ -1,3 +1,5 @@
+module Trace = Repro_obs.Trace
+
 type red_params = {
   min_th : float;
   max_th : float;
@@ -31,6 +33,8 @@ type t = {
   mutable red_count : int;  (* packets since the last RED drop *)
   mutable arrivals : int;
   mutable drops : int;
+  mutable drops_overflow : int;  (* data drops from a full buffer *)
+  mutable drops_red : int;  (* data drops from RED early marking *)
   mutable bytes_forwarded : int;
   (* conservation counters for Invariant checks: never reset by
      [reset_stats], so in = dropped + delivered + queued always holds *)
@@ -58,6 +62,8 @@ let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
     red_count = -1;
     arrivals = 0;
     drops = 0;
+    drops_overflow = 0;
+    drops_red = 0;
     bytes_forwarded = 0;
     dbg_data_in = 0;
     dbg_data_dropped = 0;
@@ -117,6 +123,18 @@ let rec serve t =
         t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
         if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
         t.dbg_service_data <- false;
+        if Trace.enabled () then
+          Trace.emit
+            (Trace.Pkt_forward
+               {
+                 time = Sim.now t.sim;
+                 queue = t.name;
+                 flow = p.flow;
+                 subflow = p.subflow;
+                 seq = p.seq;
+                 kind = Packet.kind_name p;
+                 bytes = p.size_bytes;
+               });
         Packet.forward p;
         serve t;
         check_invariants t)
@@ -173,22 +191,48 @@ let enqueue t (p : Packet.t) =
     t.arrivals <- t.arrivals + 1;
     t.dbg_data_in <- t.dbg_data_in + 1
   end;
-  let dropped =
-    if t.backlog >= t.buffer_pkts then true
-    else
-      match t.discipline with
-      | Droptail -> false
-      | Red params -> red_decides_drop t params
+  let overflow = t.backlog >= t.buffer_pkts in
+  let red_drop =
+    (not overflow)
+    && (match t.discipline with
+       | Droptail -> false
+       | Red params -> red_decides_drop t params)
   in
-  if dropped then begin
+  if overflow || red_drop then begin
     if is_data p then begin
       t.drops <- t.drops + 1;
+      if overflow then t.drops_overflow <- t.drops_overflow + 1
+      else t.drops_red <- t.drops_red + 1;
       t.dbg_data_dropped <- t.dbg_data_dropped + 1
-    end
+    end;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Pkt_drop
+           {
+             time = Sim.now t.sim;
+             queue = t.name;
+             flow = p.flow;
+             subflow = p.subflow;
+             seq = p.seq;
+             kind = Packet.kind_name p;
+             cause = (if overflow then Trace.Overflow else Trace.Red_early);
+           })
   end
   else begin
     Stdlib.Queue.add p t.fifo;
     t.backlog <- t.backlog + 1;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Pkt_enqueue
+           {
+             time = Sim.now t.sim;
+             queue = t.name;
+             flow = p.flow;
+             subflow = p.subflow;
+             seq = p.seq;
+             kind = Packet.kind_name p;
+             backlog = t.backlog;
+           });
     if not t.busy then serve t
   end;
   check_invariants t
@@ -198,6 +242,8 @@ let backlog t = t.backlog
 let capacity t = t.buffer_pkts
 let arrivals t = t.arrivals
 let drops t = t.drops
+let drops_overflow t = t.drops_overflow
+let drops_red t = t.drops_red
 
 let loss_probability t =
   if t.arrivals = 0 then 0.
@@ -213,6 +259,8 @@ let utilization t ~since ~now =
 let reset_stats t =
   t.arrivals <- 0;
   t.drops <- 0;
+  t.drops_overflow <- 0;
+  t.drops_red <- 0;
   t.bytes_forwarded <- 0
 
 let name t = t.name

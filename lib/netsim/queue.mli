@@ -49,6 +49,13 @@ val arrivals : t -> int
 val drops : t -> int
 (** Data packets dropped. *)
 
+val drops_overflow : t -> int
+(** Data packets dropped because the buffer was full; with
+    [drops_red] this partitions [drops]. *)
+
+val drops_red : t -> int
+(** Data packets dropped by RED early marking (always 0 for DropTail). *)
+
 val loss_probability : t -> float
 (** [drops / arrivals] since creation (or since [reset_stats]). *)
 

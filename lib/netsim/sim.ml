@@ -8,6 +8,7 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  mutable max_depth : int;
 }
 
 let nop () = ()
@@ -21,11 +22,13 @@ let create () =
     clock = 0.;
     next_seq = 0;
     processed = 0;
+    max_depth = 0;
   }
 
 let now t = t.clock
 let pending t = t.len
 let events_processed t = t.processed
+let max_heap_depth t = t.max_depth
 
 let less t i j =
   t.times.(i) < t.times.(j)
@@ -82,6 +85,7 @@ let schedule_at t time fn =
   t.fns.(i) <- fn;
   t.next_seq <- t.next_seq + 1;
   t.len <- t.len + 1;
+  if t.len > t.max_depth then t.max_depth <- t.len;
   sift_up t i
 
 let schedule_after t delay fn = schedule_at t (t.clock +. delay) fn

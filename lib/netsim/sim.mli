@@ -29,3 +29,7 @@ val pending : t -> int
 
 val events_processed : t -> int
 (** Total events executed so far (for the micro-benchmarks). *)
+
+val max_heap_depth : t -> int
+(** High-water mark of the event heap: the most events that were ever
+    pending at once (for the observability counters). *)

@@ -1,3 +1,5 @@
+module Trace = Repro_obs.Trace
+
 type path = { fwd : Packet.hop array; rev : Packet.hop array }
 
 type conn = {
@@ -70,6 +72,39 @@ let check_window sub =
          sub.conn.flow_id sub.idx sub.snd_una sub.snd_nxt)
   end
 
+(* Trace helpers. All callers capture [Trace.enabled ()] once on entry
+   and thread it through, so the tracing-off path costs one ref read per
+   instrumented function and allocates nothing (tcp_state values are
+   constant constructors). *)
+let trace_state sub =
+  if sub.in_recovery then Trace.Fast_recovery
+  else if sub.cwnd < sub.ssthresh then Trace.Slow_start
+  else Trace.Congestion_avoidance
+
+let emit_transition sub ~from_state =
+  let to_state = trace_state sub in
+  if to_state <> from_state then
+    Trace.emit
+      (Trace.Tcp_state
+         {
+           time = Sim.now sub.conn.sim;
+           flow = sub.conn.flow_id;
+           subflow = sub.idx;
+           from_state;
+           to_state;
+         })
+
+let emit_cwnd sub =
+  Trace.emit
+    (Trace.Cwnd_update
+       {
+         time = Sim.now sub.conn.sim;
+         flow = sub.conn.flow_id;
+         subflow = sub.idx;
+         cwnd = sub.cwnd;
+         ssthresh = sub.ssthresh;
+       })
+
 let views conn =
   Array.map
     (fun s ->
@@ -130,6 +165,17 @@ and ensure_rto sub =
   end
 
 and on_timeout sub =
+  let traced = Trace.enabled () in
+  let from_state = if traced then trace_state sub else Trace.Slow_start in
+  if traced then
+    Trace.emit
+      (Trace.Rto_fired
+         {
+           time = Sim.now sub.conn.sim;
+           flow = sub.conn.flow_id;
+           subflow = sub.idx;
+           rto = sub.rto;
+         });
   sub.timeouts <- sub.timeouts + 1;
   sub.conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
   let fl = float_of_int (flight sub) in
@@ -147,6 +193,10 @@ and on_timeout sub =
   transmit sub sub.snd_una;
   sub.snd_nxt <- sub.snd_una + 1;
   restart_rto sub;
+  if traced then begin
+    emit_transition sub ~from_state;
+    emit_cwnd sub
+  end;
   check_window sub
 
 let can_assign sub =
@@ -245,6 +295,8 @@ let retransmit_hole sub =
 
 let enter_recovery sub =
   let conn = sub.conn in
+  let traced = Trace.enabled () in
+  let from_state = if traced then trace_state sub else Trace.Slow_start in
   conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
   let v = views conn in
   let decrease = conn.cc.Repro_cc.Cc_types.loss_decrease ~views:v ~idx:sub.idx in
@@ -255,6 +307,7 @@ let enter_recovery sub =
   ignore (retransmit_hole sub);
   sub.cwnd <- sub.ssthresh +. float_of_int sub.dupacks;
   ensure_rto sub;
+  if traced then emit_transition sub ~from_state;
   check_window sub
 
 let congestion_avoidance_increase sub newly =
@@ -265,6 +318,8 @@ let congestion_avoidance_increase sub newly =
 
 let on_new_ack sub ackno =
   let conn = sub.conn in
+  let traced = Trace.enabled () in
+  let from_state = if traced then trace_state sub else Trace.Slow_start in
   let newly = ackno - sub.snd_una in
   sub.snd_una <- ackno;
   (* after a go-back-N rewind the receiver may already hold later data *)
@@ -296,6 +351,10 @@ let on_new_ack sub ackno =
      (the next segment goes out in try_send just after), and a stale
      deadline would fire spuriously mid-flight *)
   restart_rto sub;
+  if traced then begin
+    emit_transition sub ~from_state;
+    emit_cwnd sub
+  end;
   check_window sub;
   check_completion conn
 
@@ -316,6 +375,7 @@ let on_dup_ack sub =
     sub.dupacks <- sub.dupacks + 1;
     if sub.dupacks >= dupack_threshold sub then enter_recovery sub
   end;
+  if Trace.enabled () then emit_cwnd sub;
   check_window sub
 
 let record_sack sub = function
@@ -468,7 +528,12 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
   Array.iteri
     (fun idx sub ->
       let at = if idx = 0 then start else start +. subflow_join_delay in
-      Sim.schedule_at sim at (fun () -> try_send sub))
+      Sim.schedule_at sim at (fun () ->
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Subflow_add
+                 { time = Sim.now sim; flow = conn.flow_id; subflow = idx });
+          try_send sub))
     conn.subs;
   conn
 
@@ -488,6 +553,14 @@ let subflow_timeouts conn idx = conn.subs.(idx).timeouts
 
 let set_subflow_enabled conn idx enabled =
   let sub = conn.subs.(idx) in
+  if Trace.enabled () && sub.enabled <> enabled then
+    Trace.emit
+      (if enabled then
+         Trace.Subflow_add
+           { time = Sim.now conn.sim; flow = conn.flow_id; subflow = idx }
+       else
+         Trace.Subflow_remove
+           { time = Sim.now conn.sim; flow = conn.flow_id; subflow = idx });
   sub.enabled <- enabled;
   if enabled then try_send sub
 

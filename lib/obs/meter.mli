@@ -1,0 +1,40 @@
+(** Per-run counters and timers.
+
+    [let m = Meter.start ()] before the event loop, then
+    [Meter.finish m ~sim_s ... ] with the simulator's own counters
+    yields a {!report}: how long the run took on the wall, how that
+    relates to simulated time, and where packets were dropped. *)
+
+type t
+
+val start : unit -> t
+(** Capture the wall-clock start of a run. *)
+
+type report = {
+  wall_s : float;  (** wall-clock duration of the run *)
+  sim_s : float;  (** simulated seconds covered *)
+  wall_per_sim_s : float;  (** wall seconds per simulated second *)
+  events_processed : int;  (** events the sim loop dispatched *)
+  max_heap_depth : int;  (** event-heap high-water mark *)
+  drops_overflow : int;  (** data drops from full buffers *)
+  drops_red : int;  (** data drops from RED early marking *)
+  drops_random : int;  (** drops from lossy links *)
+}
+
+val finish :
+  t ->
+  sim_s:float ->
+  events_processed:int ->
+  max_heap_depth:int ->
+  drops_overflow:int ->
+  drops_red:int ->
+  drops_random:int ->
+  report
+
+val metrics : report -> (string * float) list
+(** The deterministic counters as [("obs_*", v)] pairs, suitable for
+    [Exp.Outcome]. Wall timers are deliberately excluded: sweep results
+    must be byte-reproducible across runs and domain counts. *)
+
+val to_json : report -> Repro_stats.Json.t
+(** The full report, wall timers included. *)

@@ -1,0 +1,137 @@
+(* Machine-readable perf snapshots (BENCH_*.json) and the regression
+   comparison CI gates on. A snapshot is a flat list of named scalar
+   entries where lower is better: Bechamel hot-path estimates in
+   ns/run, scenario wall-clock per simulated second. A committed
+   baseline and a fresh snapshot from the same machine diff directly;
+   across machines the "calibrate/int_work" entry (a fixed busy loop
+   timed by the same harness) normalizes raw speed away. *)
+
+module Json = Repro_stats.Json
+
+let schema = "olia-bench/1"
+let calibration_entry = "calibrate/int_work"
+
+type entry = { name : string; value : float; units : string }
+type t = { quick : bool; entries : entry list }
+
+let v ~quick entries = { quick; entries }
+let entry ~name ~value ~units = { name; value; units }
+
+let find t name =
+  List.find_opt (fun e -> e.name = name) t.entries
+  |> Option.map (fun e -> e.value)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("name", Json.String e.name);
+      ("value", Json.Float e.value);
+      ("units", Json.String e.units);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("quick", Json.Bool t.quick);
+      ("entries", Json.List (List.map entry_to_json t.entries));
+    ]
+
+let ( let* ) = Result.bind
+
+let entry_of_json = function
+  | Json.Obj fields ->
+    let* name =
+      match List.assoc_opt "name" fields with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error "entry missing string \"name\""
+    in
+    let* value =
+      match List.assoc_opt "value" fields with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | Some Json.Null -> Ok nan
+      | _ -> Error (Printf.sprintf "entry %S missing numeric \"value\"" name)
+    in
+    let* units =
+      match List.assoc_opt "units" fields with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Printf.sprintf "entry %S missing string \"units\"" name)
+    in
+    Ok { name; value; units }
+  | _ -> Error "snapshot entry is not a JSON object"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+let of_json = function
+  | Json.Obj fields ->
+    let* () =
+      match List.assoc_opt "schema" fields with
+      | Some (Json.String s) when s = schema -> Ok ()
+      | Some (Json.String s) ->
+        Error (Printf.sprintf "unsupported snapshot schema %S" s)
+      | _ -> Error "snapshot missing \"schema\""
+    in
+    let* quick =
+      match List.assoc_opt "quick" fields with
+      | Some (Json.Bool b) -> Ok b
+      | _ -> Error "snapshot missing bool \"quick\""
+    in
+    let* entries =
+      match List.assoc_opt "entries" fields with
+      | Some (Json.List l) -> map_result entry_of_json l
+      | _ -> Error "snapshot missing \"entries\" list"
+    in
+    Ok { quick; entries }
+  | _ -> Error "snapshot is not a JSON object"
+
+let write ~path t = Json.write ~path (to_json t)
+
+let read ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let* json = Json.of_string s in
+    of_json json
+
+type regression = {
+  name : string;
+  baseline : float;
+  current : float;
+  ratio : float;  (** normalized current / baseline; > 1 means slower *)
+}
+
+let usable v = Float.is_finite v && v > 0.
+
+(* All entries are lower-is-better; an entry regressed when its
+   (optionally machine-normalized) ratio exceeds 1 + tolerance. Entries
+   absent from the baseline are new work, not regressions; degenerate
+   values are skipped rather than divided by. *)
+let regressions ?(normalize_by = calibration_entry) ~baseline ~current
+    ~tolerance () =
+  let scale =
+    match (find baseline normalize_by, find current normalize_by) with
+    | Some b, Some c when usable b && usable c -> b /. c
+    | _ -> 1.
+  in
+  List.filter_map
+    (fun (e : entry) ->
+      if e.name = normalize_by then None
+      else
+        match find baseline e.name with
+        | None -> None
+        | Some base when not (usable base && usable e.value) -> None
+        | Some base ->
+          let ratio = e.value *. scale /. base in
+          if ratio > 1. +. tolerance then
+            Some { name = e.name; baseline = base; current = e.value; ratio }
+          else None)
+    current.entries

@@ -1,0 +1,51 @@
+(** Machine-readable perf snapshots ([BENCH_*.json]) and the regression
+    comparison CI gates on.
+
+    A snapshot is a flat list of named scalar entries where lower is
+    better — Bechamel hot-path estimates (["micro/..."], ns/run) and
+    scenario wall-clock per simulated second (["scenario/..."],
+    s_wall/s_sim) — plus a {!calibration_entry} measuring a fixed
+    integer busy loop so snapshots from different machines can be
+    compared after normalization. *)
+
+val schema : string
+(** Current schema tag, ["olia-bench/1"]. *)
+
+val calibration_entry : string
+(** Name of the machine-speed proxy entry, ["calibrate/int_work"]. *)
+
+type entry = { name : string; value : float; units : string }
+type t = { quick : bool; entries : entry list }
+
+val v : quick:bool -> entry list -> t
+val entry : name:string -> value:float -> units:string -> entry
+val find : t -> string -> float option
+val to_json : t -> Repro_stats.Json.t
+val of_json : Repro_stats.Json.t -> (t, string) result
+val write : path:string -> t -> unit
+
+val read : path:string -> (t, string) result
+(** Parse a snapshot file; errors cover I/O, JSON syntax, and schema
+    mismatches. *)
+
+type regression = {
+  name : string;
+  baseline : float;
+  current : float;
+  ratio : float;  (** normalized current / baseline; > 1 means slower *)
+}
+
+val regressions :
+  ?normalize_by:string ->
+  baseline:t ->
+  current:t ->
+  tolerance:float ->
+  unit ->
+  regression list
+(** Entries of [current] that are more than [tolerance] (fractional,
+    e.g. 0.2) slower than the same-named entry of [baseline]. When both
+    snapshots carry [normalize_by] (default {!calibration_entry}),
+    current values are rescaled by the calibration ratio first, making
+    the comparison machine-independent; otherwise values compare raw.
+    Entries missing from the baseline, and non-finite or non-positive
+    values, are skipped. *)

@@ -1,0 +1,316 @@
+(* Structured event tracing for the simulator.
+
+   The design point is zero cost when disarmed: every instrumentation
+   site in lib/netsim guards its event construction with
+   [if Trace.enabled () then ...], and [enabled] is a single ref read,
+   so the tracing-off hot path neither allocates nor branches beyond
+   that one test. Events are plain records of scalars — no closures,
+   no lazy thunks — and serialize through [Repro_stats.Json] to JSONL
+   (one compact object per line), which `olia_sim run --trace` and the
+   OLIA_TRACE environment variable arm. *)
+
+module Json = Repro_stats.Json
+
+type tcp_state = Slow_start | Congestion_avoidance | Fast_recovery
+type drop_cause = Overflow | Red_early | Random_loss
+
+type event =
+  | Pkt_enqueue of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      backlog : int;
+    }
+  | Pkt_drop of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      cause : drop_cause;
+    }
+  | Pkt_forward of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      bytes : int;
+    }
+  | Tcp_state of {
+      time : float;
+      flow : int;
+      subflow : int;
+      from_state : tcp_state;
+      to_state : tcp_state;
+    }
+  | Cwnd_update of {
+      time : float;
+      flow : int;
+      subflow : int;
+      cwnd : float;
+      ssthresh : float;
+    }
+  | Rto_fired of { time : float; flow : int; subflow : int; rto : float }
+  | Subflow_add of { time : float; flow : int; subflow : int }
+  | Subflow_remove of { time : float; flow : int; subflow : int }
+
+let state_name = function
+  | Slow_start -> "slow_start"
+  | Congestion_avoidance -> "congestion_avoidance"
+  | Fast_recovery -> "fast_recovery"
+
+let state_of_name = function
+  | "slow_start" -> Some Slow_start
+  | "congestion_avoidance" -> Some Congestion_avoidance
+  | "fast_recovery" -> Some Fast_recovery
+  | _ -> None
+
+let cause_name = function
+  | Overflow -> "overflow"
+  | Red_early -> "red_early"
+  | Random_loss -> "random_loss"
+
+let cause_of_name = function
+  | "overflow" -> Some Overflow
+  | "red_early" -> Some Red_early
+  | "random_loss" -> Some Random_loss
+  | _ -> None
+
+(* Every object leads with an "ev" discriminator so a stream consumer
+   can dispatch without probing field sets. *)
+let to_json = function
+  | Pkt_enqueue { time; queue; flow; subflow; seq; kind; backlog } ->
+    Json.Obj
+      [
+        ("ev", Json.String "pkt_enqueue"); ("t", Json.Float time);
+        ("queue", Json.String queue); ("flow", Json.Int flow);
+        ("subflow", Json.Int subflow); ("seq", Json.Int seq);
+        ("kind", Json.String kind); ("backlog", Json.Int backlog);
+      ]
+  | Pkt_drop { time; queue; flow; subflow; seq; kind; cause } ->
+    Json.Obj
+      [
+        ("ev", Json.String "pkt_drop"); ("t", Json.Float time);
+        ("queue", Json.String queue); ("flow", Json.Int flow);
+        ("subflow", Json.Int subflow); ("seq", Json.Int seq);
+        ("kind", Json.String kind);
+        ("cause", Json.String (cause_name cause));
+      ]
+  | Pkt_forward { time; queue; flow; subflow; seq; kind; bytes } ->
+    Json.Obj
+      [
+        ("ev", Json.String "pkt_forward"); ("t", Json.Float time);
+        ("queue", Json.String queue); ("flow", Json.Int flow);
+        ("subflow", Json.Int subflow); ("seq", Json.Int seq);
+        ("kind", Json.String kind); ("bytes", Json.Int bytes);
+      ]
+  | Tcp_state { time; flow; subflow; from_state; to_state } ->
+    Json.Obj
+      [
+        ("ev", Json.String "tcp_state"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+        ("from", Json.String (state_name from_state));
+        ("to", Json.String (state_name to_state));
+      ]
+  | Cwnd_update { time; flow; subflow; cwnd; ssthresh } ->
+    Json.Obj
+      [
+        ("ev", Json.String "cwnd_update"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+        ("cwnd", Json.Float cwnd); ("ssthresh", Json.Float ssthresh);
+      ]
+  | Rto_fired { time; flow; subflow; rto } ->
+    Json.Obj
+      [
+        ("ev", Json.String "rto_fired"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+        ("rto", Json.Float rto);
+      ]
+  | Subflow_add { time; flow; subflow } ->
+    Json.Obj
+      [
+        ("ev", Json.String "subflow_add"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+      ]
+  | Subflow_remove { time; flow; subflow } ->
+    Json.Obj
+      [
+        ("ev", Json.String "subflow_remove"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+      ]
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let as_float name = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Null -> Ok nan (* non-finite floats serialize as null *)
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S is not an integer" name)
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let floatf fields name =
+  let* v = field fields name in
+  as_float name v
+
+let intf fields name =
+  let* v = field fields name in
+  as_int name v
+
+let stringf fields name =
+  let* v = field fields name in
+  as_string name v
+
+let statef fields name =
+  let* s = stringf fields name in
+  match state_of_name s with
+  | Some st -> Ok st
+  | None -> Error (Printf.sprintf "unknown tcp state %S" s)
+
+let of_json json =
+  match json with
+  | Json.Obj fields -> (
+    let* ev = stringf fields "ev" in
+    match ev with
+    | "pkt_enqueue" ->
+      let* time = floatf fields "t" in
+      let* queue = stringf fields "queue" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* seq = intf fields "seq" in
+      let* kind = stringf fields "kind" in
+      let* backlog = intf fields "backlog" in
+      Ok (Pkt_enqueue { time; queue; flow; subflow; seq; kind; backlog })
+    | "pkt_drop" ->
+      let* time = floatf fields "t" in
+      let* queue = stringf fields "queue" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* seq = intf fields "seq" in
+      let* kind = stringf fields "kind" in
+      let* cause_s = stringf fields "cause" in
+      let* cause =
+        match cause_of_name cause_s with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "unknown drop cause %S" cause_s)
+      in
+      Ok (Pkt_drop { time; queue; flow; subflow; seq; kind; cause })
+    | "pkt_forward" ->
+      let* time = floatf fields "t" in
+      let* queue = stringf fields "queue" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* seq = intf fields "seq" in
+      let* kind = stringf fields "kind" in
+      let* bytes = intf fields "bytes" in
+      Ok (Pkt_forward { time; queue; flow; subflow; seq; kind; bytes })
+    | "tcp_state" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* from_state = statef fields "from" in
+      let* to_state = statef fields "to" in
+      Ok (Tcp_state { time; flow; subflow; from_state; to_state })
+    | "cwnd_update" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* cwnd = floatf fields "cwnd" in
+      let* ssthresh = floatf fields "ssthresh" in
+      Ok (Cwnd_update { time; flow; subflow; cwnd; ssthresh })
+    | "rto_fired" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* rto = floatf fields "rto" in
+      Ok (Rto_fired { time; flow; subflow; rto })
+    | "subflow_add" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      Ok (Subflow_add { time; flow; subflow })
+    | "subflow_remove" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      Ok (Subflow_remove { time; flow; subflow })
+    | other -> Error (Printf.sprintf "unknown event %S" other))
+  | _ -> Error "trace event is not a JSON object"
+
+(* --- sink ----------------------------------------------------------- *)
+
+(* The sink is process-global by design: a trace interleaves events
+   from every queue and connection of a run, and the CLI arms it around
+   a single scenario execution. Parallel sweeps run untraced (the CLI
+   never arms tracing there), and [emit] serializes writers with a
+   mutex in case a traced program still spawns domains. *)
+
+(* lint: allow R2 -- process-global trace sink, armed once by the CLI or test setup before the (single-domain) traced run starts *)
+let sink : (event -> unit) option ref = ref None
+
+(* lint: allow R2 -- paired with [sink]: the channel behind the JSONL writer, managed only by open_jsonl/close *)
+let chan : out_channel option ref = ref None
+
+let lock = Mutex.create ()
+let enabled () = Option.is_some !sink
+
+let emit ev =
+  match !sink with
+  | None -> ()
+  | Some f -> Mutex.protect lock (fun () -> f ev)
+
+let close () =
+  Mutex.protect lock (fun () ->
+      (match !chan with
+      | Some oc ->
+        flush oc;
+        if oc != stderr then close_out oc
+      | None -> ());
+      chan := None;
+      sink := None)
+
+let set_sink f = sink := f
+
+let jsonl_writer oc ev =
+  output_string oc (Json.to_string (to_json ev));
+  output_char oc '\n'
+
+let open_jsonl ~path =
+  close ();
+  let oc = open_out path in
+  chan := Some oc;
+  sink := Some (jsonl_writer oc)
+
+let with_jsonl ~path f =
+  open_jsonl ~path;
+  Fun.protect ~finally:close f
+
+(* OLIA_TRACE=1 (or true/yes/on) streams JSONL to stderr; any other
+   non-empty value is taken as an output path. *)
+let () =
+  match Sys.getenv_opt "OLIA_TRACE" with
+  | None | Some "" | Some "0" -> ()
+  | Some ("1" | "true" | "yes" | "on") ->
+    chan := Some stderr;
+    sink := Some (jsonl_writer stderr);
+    at_exit close
+  | Some path ->
+    open_jsonl ~path;
+    at_exit close

@@ -1,0 +1,97 @@
+(** Structured event tracing for the simulator.
+
+    Instrumentation sites in [lib/netsim] construct an {!event} and
+    call {!emit} only when {!enabled} returns true, so the tracing-off
+    path costs one ref read and allocates nothing. Armed, events stream
+    as JSONL — one compact [Repro_stats.Json] object per line, led by
+    an ["ev"] discriminator — via [olia_sim run --trace out.jsonl] or
+    the [OLIA_TRACE] environment variable ([1]/[true]/[yes]/[on] for
+    stderr, any other non-empty value for an output path).
+
+    The sink is process-global: arm it around a single-domain run only
+    (parallel sweeps stay untraced). *)
+
+type tcp_state = Slow_start | Congestion_avoidance | Fast_recovery
+
+type drop_cause =
+  | Overflow  (** buffer full on arrival *)
+  | Red_early  (** RED early (probabilistic) drop *)
+  | Random_loss  (** lossy-link Bernoulli drop *)
+
+type event =
+  | Pkt_enqueue of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      backlog : int;  (** occupancy after the packet was admitted *)
+    }
+  | Pkt_drop of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      cause : drop_cause;
+    }
+  | Pkt_forward of {
+      time : float;
+      queue : string;
+      flow : int;
+      subflow : int;
+      seq : int;
+      kind : string;
+      bytes : int;
+    }
+  | Tcp_state of {
+      time : float;
+      flow : int;
+      subflow : int;
+      from_state : tcp_state;
+      to_state : tcp_state;
+    }
+  | Cwnd_update of {
+      time : float;
+      flow : int;
+      subflow : int;
+      cwnd : float;
+      ssthresh : float;
+    }
+  | Rto_fired of {
+      time : float;
+      flow : int;
+      subflow : int;
+      rto : float;  (** the RTO that just expired, pre-backoff *)
+    }
+  | Subflow_add of { time : float; flow : int; subflow : int }
+  | Subflow_remove of { time : float; flow : int; subflow : int }
+
+val to_json : event -> Repro_stats.Json.t
+val of_json : Repro_stats.Json.t -> (event, string) result
+(** Inverse of {!to_json}. Finite floats round-trip exactly (the Json
+    printer guarantees it); a [null] numeric field reads back as nan. *)
+
+val state_name : tcp_state -> string
+val cause_name : drop_cause -> string
+
+val enabled : unit -> bool
+(** One ref read; instrumentation sites must guard event construction
+    with it. *)
+
+val emit : event -> unit
+(** Deliver to the current sink, if any (writers are serialized). *)
+
+val set_sink : (event -> unit) option -> unit
+(** Install a custom sink (tests) or disarm with [None]. *)
+
+val open_jsonl : path:string -> unit
+(** Arm tracing into a fresh JSONL file, closing any previous sink. *)
+
+val close : unit -> unit
+(** Flush and close the JSONL sink, disarming tracing. *)
+
+val with_jsonl : path:string -> (unit -> 'a) -> 'a
+(** [open_jsonl], run the thunk, [close] — also on exceptions. *)

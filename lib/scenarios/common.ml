@@ -22,6 +22,19 @@ let measure_conns ~sim ~warmup ~duration conns =
       { goodput_pps = pps; goodput_mbps = mbps_of_pps pps })
     conns
 
+(* One meter report per run: the simulator's own counters plus the
+   drop split summed over the scenario's queues. Random-loss drops come
+   from Lossy hops, which only the wireless scenario uses. *)
+let observe ~meter ~sim ?(lossy = []) queues =
+  let sum f = List.fold_left (fun acc q -> acc + f q) 0 queues in
+  Repro_obs.Meter.finish meter ~sim_s:(Sim.now sim)
+    ~events_processed:(Sim.events_processed sim)
+    ~max_heap_depth:(Sim.max_heap_depth sim)
+    ~drops_overflow:(sum Queue.drops_overflow)
+    ~drops_red:(sum Queue.drops_red)
+    ~drops_random:
+      (List.fold_left (fun acc l -> acc + Lossy.dropped l) 0 lossy)
+
 let paper_rtt = 0.150
 let paper_propagation_delay = 0.080
 

@@ -27,6 +27,16 @@ val measure_conns :
 val mbps_of_pps : float -> float
 (** 1500-byte packets per second → Mbit/s. *)
 
+val observe :
+  meter:Repro_obs.Meter.t ->
+  sim:Repro_netsim.Sim.t ->
+  ?lossy:Repro_netsim.Lossy.t list ->
+  Repro_netsim.Queue.t list ->
+  Repro_obs.Meter.report
+(** Finish a run's meter from the simulator's counters and the drop
+    split summed over [queues] (plus any [lossy] hops). Call it after
+    the event loop, before building the result record. *)
+
 val paper_rtt : float
 (** 0.150 s — the testbed's operating-point RTT (80 ms propagation plus
     ≈70 ms of queueing). *)

@@ -53,13 +53,15 @@ module Scenario_a : SCENARIO = struct
           seed = Spec.get_int spec b "seed";
         }
     in
-    Outcome.of_metrics
-      [
-        ("norm_type1", r.Scen_a.norm_type1);
-        ("norm_type2", r.Scen_a.norm_type2);
-        ("p1", r.Scen_a.p1);
-        ("p2", r.Scen_a.p2);
-      ]
+    Outcome.add_metrics
+      (Outcome.of_metrics
+         [
+           ("norm_type1", r.Scen_a.norm_type1);
+           ("norm_type2", r.Scen_a.norm_type2);
+           ("p1", r.Scen_a.p1);
+           ("p2", r.Scen_a.p2);
+         ])
+      (Repro_obs.Meter.metrics r.Scen_a.obs)
 end
 
 module Scenario_b : SCENARIO = struct
@@ -99,14 +101,16 @@ module Scenario_b : SCENARIO = struct
           seed = Spec.get_int spec b "seed";
         }
     in
-    Outcome.of_metrics
-      [
-        ("blue_rate", r.Scen_b.blue_rate);
-        ("red_rate", r.Scen_b.red_rate);
-        ("aggregate", r.Scen_b.aggregate);
-        ("px", r.Scen_b.px);
-        ("pt", r.Scen_b.pt);
-      ]
+    Outcome.add_metrics
+      (Outcome.of_metrics
+         [
+           ("blue_rate", r.Scen_b.blue_rate);
+           ("red_rate", r.Scen_b.red_rate);
+           ("aggregate", r.Scen_b.aggregate);
+           ("px", r.Scen_b.px);
+           ("pt", r.Scen_b.pt);
+         ])
+      (Repro_obs.Meter.metrics r.Scen_b.obs)
 end
 
 module Scenario_c : SCENARIO = struct
@@ -151,13 +155,15 @@ module Scenario_c : SCENARIO = struct
           seed = Spec.get_int spec b "seed";
         }
     in
-    Outcome.of_metrics
-      [
-        ("norm_multipath", r.Scen_c.norm_multipath);
-        ("norm_single", r.Scen_c.norm_single);
-        ("p1", r.Scen_c.p1);
-        ("p2", r.Scen_c.p2);
-      ]
+    Outcome.add_metrics
+      (Outcome.of_metrics
+         [
+           ("norm_multipath", r.Scen_c.norm_multipath);
+           ("norm_single", r.Scen_c.norm_single);
+           ("p1", r.Scen_c.p1);
+           ("p2", r.Scen_c.p2);
+         ])
+      (Repro_obs.Meter.metrics r.Scen_c.obs)
 end
 
 module Two_bottleneck_s : SCENARIO = struct

@@ -28,9 +28,11 @@ type result = {
   norm_type2 : float;
   p1 : float;
   p2 : float;
+  obs : Repro_obs.Meter.report;
 }
 
 let run cfg =
+  let meter = Repro_obs.Meter.start () in
   let sim = Sim.create () in
   let rng = Rng.create ~seed:cfg.seed in
   let rate1 = float_of_int cfg.n1 *. cfg.c1_mbps *. 1e6 in
@@ -88,6 +90,7 @@ let run cfg =
     norm_type2 = Common.mean r2 /. cfg.c2_mbps;
     p1 = Queue.loss_probability q1;
     p2 = Queue.loss_probability q2;
+    obs = Common.observe ~meter ~sim [ q1; q2 ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

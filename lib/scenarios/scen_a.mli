@@ -27,6 +27,7 @@ type result = {
   norm_type2 : float;  (** mean type-2 goodput normalized by c2 *)
   p1 : float;  (** measured loss probability at the server bottleneck *)
   p2 : float;  (** measured loss probability at the shared AP *)
+  obs : Repro_obs.Meter.report;  (** run counters and timers *)
 }
 
 val run : config -> result

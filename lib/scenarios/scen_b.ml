@@ -29,9 +29,11 @@ type result = {
   aggregate : float;
   px : float;
   pt : float;
+  obs : Repro_obs.Meter.report;
 }
 
 let run cfg =
+  let meter = Repro_obs.Meter.start () in
   let sim = Sim.create () in
   let rng = Rng.create ~seed:cfg.seed in
   let rate_x = cfg.cx_mbps *. 1e6 and rate_t = cfg.ct_mbps *. 1e6 in
@@ -82,6 +84,7 @@ let run cfg =
     aggregate = List.fold_left ( +. ) 0. rates;
     px = Queue.loss_probability qx;
     pt = Queue.loss_probability qt;
+    obs = Common.observe ~meter ~sim [ qx; qt ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

@@ -24,6 +24,7 @@ type result = {
   aggregate : float;  (** total goodput, Mb/s *)
   px : float;  (** measured loss probability at X *)
   pt : float;  (** measured loss probability at T *)
+  obs : Repro_obs.Meter.report;  (** run counters and timers *)
 }
 
 val run : config -> result

@@ -32,9 +32,11 @@ type result = {
   norm_single : float;
   p1 : float;
   p2 : float;
+  obs : Repro_obs.Meter.report;
 }
 
 let run cfg =
+  let meter = Repro_obs.Meter.start () in
   let sim = Sim.create () in
   let rng = Rng.create ~seed:cfg.seed in
   let rate1 = float_of_int cfg.n1 *. cfg.c1_mbps *. 1e6 in
@@ -94,6 +96,7 @@ let run cfg =
     norm_single = Common.mean rs /. cfg.c2_mbps;
     p1 = Queue.loss_probability ap1;
     p2 = Queue.loss_probability ap2;
+    obs = Common.observe ~meter ~sim [ ap1; ap2 ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

@@ -27,6 +27,7 @@ type result = {
   norm_single : float;  (** mean single-path goodput normalized by c2 *)
   p1 : float;
   p2 : float;
+  obs : Repro_obs.Meter.report;  (** run counters and timers *)
 }
 
 val run : config -> result

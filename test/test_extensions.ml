@@ -477,7 +477,7 @@ let suite =
 
 let test_lossy_drop_rate () =
   let rng = Rng.create ~seed:40 in
-  let lossy = Lossy.create ~rng ~loss_prob:0.2 in
+  let lossy = Lossy.create ~rng ~loss_prob:0.2 () in
   let forwarded = ref 0 in
   let route = [| Lossy.hop lossy; (fun _ -> incr forwarded) |] in
   for i = 0 to 9999 do
@@ -492,7 +492,7 @@ let test_lossy_drop_rate () =
 
 let test_lossy_spares_acks () =
   let rng = Rng.create ~seed:41 in
-  let lossy = Lossy.create ~rng ~loss_prob:0.9 in
+  let lossy = Lossy.create ~rng ~loss_prob:0.9 () in
   let forwarded = ref 0 in
   let route = [| Lossy.hop lossy; (fun _ -> incr forwarded) |] in
   for _ = 1 to 100 do
@@ -506,7 +506,7 @@ let test_lossy_rejects_bad_prob () =
   let rng = Rng.create ~seed:42 in
   Alcotest.check_raises "p=1"
     (Invalid_argument "Lossy.create: loss_prob must be in [0, 1)") (fun () ->
-      ignore (Lossy.create ~rng ~loss_prob:1.))
+      ignore (Lossy.create ~rng ~loss_prob:1. ()))
 
 let test_wireless_multipath_beats_lossy_tcp () =
   let module W = Mptcp_repro.Scenarios.Wireless in

@@ -125,6 +125,42 @@ let test_r5_registered () =
   check_count "referenced scenario" Finding.R5 0
     (lint_pair {|let all = [ ("orphan", Orphan.run) ]|})
 
+(* --- R6: error hygiene ---------------------------------------------- *)
+
+let test_r6_fires () =
+  let f =
+    lint
+      {|
+let a r = ignore (Result.map succ r)
+let b () = ignore (Ok 3)
+let c x = ignore (if x then Ok x else Error "no")
+|}
+  in
+  check_count "three ignored results" Finding.R6 3 f
+
+let test_r6_constraint () =
+  check_count "annotated result" Finding.R6 1
+    (lint "let f r = ignore (r : (int, string) result)")
+
+let test_r6_plain_ignore_fine () =
+  check_count "ignore of a non-result stays legal" Finding.R6 0
+    (lint {|
+let f g x = ignore (g x)
+let h q = ignore (Queue.pop q)
+|})
+
+let test_r6_everywhere () =
+  check_count "fires outside lib/ too" Finding.R6 1
+    (lint ~path:"test/test_x.ml" "let f r = ignore (Result.bind r g)")
+
+let test_r6_suppressible () =
+  check_count "waivable like any rule" Finding.R6 0
+    (lint
+       {|
+(* lint: allow R6 -- fixture exercising the waiver *)
+let b () = ignore (Ok 3)
+|})
+
 (* --- clean code, parse errors --------------------------------------- *)
 
 let test_clean_passes () =
@@ -251,6 +287,12 @@ let suite =
     Alcotest.test_case "R5 flags unregistered scenarios" `Quick test_r5_orphan;
     Alcotest.test_case "R5 accepts referenced scenarios" `Quick
       test_r5_registered;
+    Alcotest.test_case "R6 fires on ignored results" `Quick test_r6_fires;
+    Alcotest.test_case "R6 sees type annotations" `Quick test_r6_constraint;
+    Alcotest.test_case "R6 leaves other ignores alone" `Quick
+      test_r6_plain_ignore_fine;
+    Alcotest.test_case "R6 applies everywhere" `Quick test_r6_everywhere;
+    Alcotest.test_case "R6 suppressible" `Quick test_r6_suppressible;
     Alcotest.test_case "clean code produces no findings" `Quick
       test_clean_passes;
     Alcotest.test_case "unparseable file yields one finding" `Quick

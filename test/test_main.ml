@@ -16,4 +16,5 @@ let () =
       ("failure", Test_failure.suite);
       ("common", Test_common.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,374 @@
+(* The observability layer: trace events round-trip through JSONL, the
+   per-run counters agree with what a Monitor sees on the same queues,
+   and — crucially — arming tracing never changes simulation results. *)
+
+open Repro_netsim
+module Trace = Repro_obs.Trace
+module Meter = Repro_obs.Meter
+module Snapshot = Repro_obs.Snapshot
+module Json = Repro_stats.Json
+module S = Repro_scenarios
+
+(* --- trace events ---------------------------------------------------- *)
+
+let every_variant =
+  [
+    Trace.Pkt_enqueue
+      {
+        time = 0.125;
+        queue = "r1";
+        flow = 3;
+        subflow = 1;
+        seq = 42;
+        kind = "data";
+        backlog = 7;
+      };
+    Trace.Pkt_drop
+      {
+        time = 0.25;
+        queue = "ap";
+        flow = 0;
+        subflow = 0;
+        seq = 9;
+        kind = "data";
+        cause = Trace.Overflow;
+      };
+    Trace.Pkt_drop
+      {
+        time = 0.5;
+        queue = "ap";
+        flow = 1;
+        subflow = 2;
+        seq = 10;
+        kind = "data";
+        cause = Trace.Red_early;
+      };
+    Trace.Pkt_drop
+      {
+        time = 0.75;
+        queue = "wifi";
+        flow = 1;
+        subflow = 0;
+        seq = 11;
+        kind = "ack";
+        cause = Trace.Random_loss;
+      };
+    Trace.Pkt_forward
+      {
+        time = 1.5;
+        queue = "r2";
+        flow = 2;
+        subflow = 1;
+        seq = 12;
+        kind = "data";
+        bytes = 1500;
+      };
+    Trace.Tcp_state
+      {
+        time = 2.0;
+        flow = 4;
+        subflow = 0;
+        from_state = Trace.Slow_start;
+        to_state = Trace.Fast_recovery;
+      };
+    Trace.Tcp_state
+      {
+        time = 2.25;
+        flow = 4;
+        subflow = 0;
+        from_state = Trace.Fast_recovery;
+        to_state = Trace.Congestion_avoidance;
+      };
+    Trace.Cwnd_update
+      { time = 3.0; flow = 0; subflow = 1; cwnd = 14.5; ssthresh = 7.25 };
+    Trace.Rto_fired { time = 4.0; flow = 1; subflow = 1; rto = 1.5 };
+    Trace.Subflow_add { time = 0.0; flow = 5; subflow = 1 };
+    Trace.Subflow_remove { time = 9.5; flow = 5; subflow = 1 };
+  ]
+
+let test_event_round_trip () =
+  List.iter
+    (fun ev ->
+      let serialized = Json.to_string (Trace.to_json ev) in
+      match Json.of_string serialized with
+      | Error e -> Alcotest.fail ("event does not re-parse: " ^ e)
+      | Ok j -> (
+        match Trace.of_json j with
+        | Error e -> Alcotest.fail ("event does not decode: " ^ e)
+        | Ok ev' ->
+          Alcotest.(check bool)
+            ("round-trip: " ^ serialized)
+            true (ev = ev')))
+    every_variant
+
+let test_event_bad_json () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Error _ -> ()
+      | Ok j -> (
+        match Trace.of_json j with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail ("decoded a non-event: " ^ src)))
+    [ {|{"ev":"no_such_event","t":1}|}; {|{"t":1}|}; {|[1,2]|} ]
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "olia_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.with_jsonl ~path (fun () ->
+          Alcotest.(check bool) "armed" true (Trace.enabled ());
+          List.iter Trace.emit every_variant);
+      Alcotest.(check bool) "disarmed after" false (Trace.enabled ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int)
+        "one line per event"
+        (List.length every_variant)
+        (List.length lines);
+      List.iter2
+        (fun ev line ->
+          match Json.of_string line with
+          | Error e -> Alcotest.fail ("line is not JSON: " ^ e)
+          | Ok j -> (
+            match Trace.of_json j with
+            | Error e -> Alcotest.fail ("line is not an event: " ^ e)
+            | Ok ev' ->
+              Alcotest.(check bool) "line decodes to the event" true (ev = ev')))
+        every_variant lines)
+
+(* --- counters vs Monitor --------------------------------------------- *)
+
+(* Flood a small DropTail queue and cross-check the meter counters
+   against the queue's own statistics and a Monitor drop series. *)
+let test_counters_match_monitor () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:1 in
+  let q =
+    Queue.create ~sim ~rng ~rate_bps:12e6 ~buffer_pkts:5
+      ~discipline:Queue.Droptail ()
+  in
+  let mon = Monitor.create ~sim ~period:0.01 ~stop:0.2 () in
+  Monitor.watch_drops mon "drops" q;
+  let sink (_ : Packet.t) = () in
+  let route = [| Queue.hop q; sink |] in
+  Sim.schedule_at sim 0. (fun () ->
+      for i = 0 to 19 do
+        Packet.forward (Packet.data ~flow:0 ~subflow:0 ~seq:i ~sent_at:0. ~route)
+      done);
+  let meter = Meter.start () in
+  Sim.run sim;
+  let r =
+    Meter.finish meter ~sim_s:(Sim.now sim)
+      ~events_processed:(Sim.events_processed sim)
+      ~max_heap_depth:(Sim.max_heap_depth sim)
+      ~drops_overflow:(Queue.drops_overflow q) ~drops_red:(Queue.drops_red q)
+      ~drops_random:0
+  in
+  Alcotest.(check int) "overflow drops" 15 r.Meter.drops_overflow;
+  Alcotest.(check int) "no red drops on droptail" 0 r.Meter.drops_red;
+  Alcotest.(check int)
+    "split sums to the queue total"
+    (Queue.drops q)
+    (r.Meter.drops_overflow + r.Meter.drops_red);
+  (match Repro_stats.Timeseries.last (Monitor.series mon "drops") with
+  | None -> Alcotest.fail "monitor recorded nothing"
+  | Some (_, v) ->
+    Alcotest.(check int)
+      "monitor's last sample agrees" (Queue.drops q) (int_of_float v));
+  Alcotest.(check bool) "events processed" true (r.Meter.events_processed > 0);
+  Alcotest.(check bool) "heap high-water mark" true (r.Meter.max_heap_depth > 0);
+  Alcotest.(check bool)
+    "heap mark bounds pending peak" true
+    (r.Meter.max_heap_depth <= r.Meter.events_processed)
+
+let small = { S.Scen_a.default with duration = 8.; warmup = 2. }
+
+let test_scenario_metrics_exported () =
+  let r = S.Scen_a.run small in
+  let metrics = Meter.metrics r.S.Scen_a.obs in
+  List.iter
+    (fun key ->
+      match List.assoc_opt key metrics with
+      | None -> Alcotest.fail ("missing metric " ^ key)
+      | Some v ->
+        Alcotest.(check bool) (key ^ " finite and >= 0") true
+          (Float.is_finite v && v >= 0.))
+    [
+      "obs_events";
+      "obs_max_heap_depth";
+      "obs_drops_overflow";
+      "obs_drops_red";
+      "obs_drops_random";
+    ];
+  Alcotest.(check bool)
+    "a real run dispatches events" true
+    (List.assoc "obs_events" metrics > 0.);
+  (* and through the registry: the outcome carries the same keys *)
+  let (module Sc : S.Registry.SCENARIO) = S.Registry.find "scenario-a" in
+  let outcome =
+    Sc.run
+      [
+        ("duration", Repro_exp.Spec.Float 8.);
+        ("warmup", Repro_exp.Spec.Float 2.);
+      ]
+  in
+  Alcotest.(check bool)
+    "registry outcome exports obs_events" true
+    (Repro_exp.Outcome.metric outcome "obs_events" > 0.)
+
+(* --- tracing off is a no-op ------------------------------------------ *)
+
+let deterministic_view (r : S.Scen_a.result) =
+  ( r.S.Scen_a.norm_type1,
+    r.S.Scen_a.norm_type2,
+    r.S.Scen_a.p1,
+    r.S.Scen_a.p2,
+    Meter.metrics r.S.Scen_a.obs )
+
+let test_tracing_off_noop () =
+  Alcotest.(check bool) "tests run untraced" false (Trace.enabled ());
+  let before = deterministic_view (S.Scen_a.run small) in
+  let seen = ref 0 in
+  Trace.set_sink (Some (fun (_ : Trace.event) -> incr seen));
+  let traced =
+    Fun.protect
+      ~finally:(fun () -> Trace.set_sink None)
+      (fun () -> deterministic_view (S.Scen_a.run small))
+  in
+  Alcotest.(check bool) "disarmed again" false (Trace.enabled ());
+  let after = deterministic_view (S.Scen_a.run small) in
+  Alcotest.(check bool) "tracing emitted events" true (!seen > 0);
+  Alcotest.(check bool) "tracing does not change results" true
+    (before = traced);
+  Alcotest.(check bool) "and leaves no residue" true (before = after)
+
+(* --- perf snapshots --------------------------------------------------- *)
+
+let snap entries = Snapshot.v ~quick:true entries
+
+let test_snapshot_round_trip () =
+  let path = Filename.temp_file "olia_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t =
+        snap
+          [
+            Snapshot.entry ~name:Snapshot.calibration_entry ~value:1000.
+              ~units:"ns/run";
+            Snapshot.entry ~name:"micro/olia-increase" ~value:250.5
+              ~units:"ns/run";
+            Snapshot.entry ~name:"scenario/scenario-a" ~value:0.02
+              ~units:"s_wall/s_sim";
+          ]
+      in
+      Snapshot.write ~path t;
+      match Snapshot.read ~path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+        Alcotest.(check bool) "round-trips" true (t = t');
+        Alcotest.(check (option (float 1e-9)))
+          "find" (Some 250.5)
+          (Snapshot.find t' "micro/olia-increase"))
+
+let test_snapshot_read_rejects () =
+  let path = Filename.temp_file "olia_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc {|{"schema":"other/9","quick":false,"entries":[]}|};
+      close_out oc;
+      match Snapshot.read ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted a foreign schema")
+
+let test_regressions_flag_slowdowns () =
+  let baseline =
+    snap
+      [
+        Snapshot.entry ~name:Snapshot.calibration_entry ~value:1000.
+          ~units:"ns/run";
+        Snapshot.entry ~name:"micro/a" ~value:100. ~units:"ns/run";
+        Snapshot.entry ~name:"micro/b" ~value:100. ~units:"ns/run";
+      ]
+  in
+  let current =
+    snap
+      [
+        Snapshot.entry ~name:Snapshot.calibration_entry ~value:1000.
+          ~units:"ns/run";
+        Snapshot.entry ~name:"micro/a" ~value:150. ~units:"ns/run";
+        Snapshot.entry ~name:"micro/b" ~value:110. ~units:"ns/run";
+        Snapshot.entry ~name:"micro/new" ~value:999. ~units:"ns/run";
+      ]
+  in
+  match Snapshot.regressions ~baseline ~current ~tolerance:0.2 () with
+  | [ r ] ->
+    Alcotest.(check string) "only the 1.5x entry" "micro/a" r.Snapshot.name;
+    Alcotest.(check (float 1e-9)) "ratio" 1.5 r.Snapshot.ratio
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length rs))
+
+let test_regressions_normalize_by_calibration () =
+  let baseline =
+    snap
+      [
+        Snapshot.entry ~name:Snapshot.calibration_entry ~value:1000.
+          ~units:"ns/run";
+        Snapshot.entry ~name:"micro/a" ~value:100. ~units:"ns/run";
+      ]
+  in
+  (* a machine uniformly 2x slower: calibration doubles with the
+     workload, so nothing is a regression *)
+  let current =
+    snap
+      [
+        Snapshot.entry ~name:Snapshot.calibration_entry ~value:2000.
+          ~units:"ns/run";
+        Snapshot.entry ~name:"micro/a" ~value:200. ~units:"ns/run";
+      ]
+  in
+  Alcotest.(check int)
+    "uniform slowdown normalizes away" 0
+    (List.length (Snapshot.regressions ~baseline ~current ~tolerance:0.2 ()));
+  (* but a genuine 1.5x on top of it is still caught *)
+  let current =
+    snap
+      [
+        Snapshot.entry ~name:Snapshot.calibration_entry ~value:2000.
+          ~units:"ns/run";
+        Snapshot.entry ~name:"micro/a" ~value:300. ~units:"ns/run";
+      ]
+  in
+  Alcotest.(check int)
+    "real slowdown survives normalization" 1
+    (List.length (Snapshot.regressions ~baseline ~current ~tolerance:0.2 ()))
+
+let suite =
+  [
+    Alcotest.test_case "every event variant round-trips JSONL" `Quick
+      test_event_round_trip;
+    Alcotest.test_case "malformed events rejected" `Quick test_event_bad_json;
+    Alcotest.test_case "JSONL file sink" `Quick test_jsonl_sink;
+    Alcotest.test_case "meter counters agree with Monitor and Queue" `Quick
+      test_counters_match_monitor;
+    Alcotest.test_case "scenario runs export obs_* metrics" `Quick
+      test_scenario_metrics_exported;
+    Alcotest.test_case "tracing changes nothing but emits events" `Quick
+      test_tracing_off_noop;
+    Alcotest.test_case "snapshot round-trips" `Quick test_snapshot_round_trip;
+    Alcotest.test_case "snapshot read rejects foreign schemas" `Quick
+      test_snapshot_read_rejects;
+    Alcotest.test_case "regression gate flags slowdowns" `Quick
+      test_regressions_flag_slowdowns;
+    Alcotest.test_case "regression gate normalizes by calibration" `Quick
+      test_regressions_normalize_by_calibration;
+  ]
