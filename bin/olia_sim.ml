@@ -8,7 +8,8 @@
      trace                                  two-bottleneck window traces
      fattree                                static FatTree experiment
      fattree-dynamic                        short-flow experiment
-     fluid                                  analytical fixed points *)
+     fluid                                  analytical fixed points
+     check                                  conformance + golden traces *)
 
 open Cmdliner
 module S = Mptcp_repro.Scenarios
@@ -526,6 +527,107 @@ let fluid_cmd =
     (Cmd.info "fluid" ~doc)
     Term.(const run_fluid $ scenario $ n1 $ n2 $ c1 $ c2)
 
+(* --- check ----------------------------------------------------------------- *)
+
+module Ck = Mptcp_repro.Check
+module Json = Mptcp_repro.Stats.Json
+
+let has_sub hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  if ln = 0 then true
+  else
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+
+let run_check only out update_golden golden_dir =
+  if update_golden then begin
+    Ck.Golden.update_all ~dir:golden_dir;
+    Printf.printf "golden traces re-recorded under %s/\n" golden_dir
+  end
+  else begin
+    let report = Ck.Conformance.run_all ?only () in
+    List.iter
+      (fun (cr : Ck.Conformance.case_report) ->
+        Printf.printf "%s %s\n" (if cr.pass then "PASS" else "FAIL") cr.case;
+        List.iter
+          (fun (r : Ck.Band.result) ->
+            Printf.printf
+              "  %s %-24s %-38s actual %11.5g  band [%.5g, %.5g]\n"
+              (if r.pass then "ok  " else "FAIL")
+              r.band.Ck.Band.id r.band.Ck.Band.metric r.actual
+              r.band.Ck.Band.lo r.band.Ck.Band.hi)
+          cr.results)
+      report.Ck.Conformance.cases;
+    let golden_names =
+      List.filter
+        (fun n ->
+          match only with
+          | None -> true
+          | Some s -> has_sub ("golden/" ^ n) s)
+        Ck.Golden.names
+    in
+    let golden =
+      List.map (fun n -> (n, Ck.Golden.check ~dir:golden_dir n)) golden_names
+    in
+    List.iter
+      (fun (n, r) ->
+        match r with
+        | Ok () -> Printf.printf "PASS golden/%s\n" n
+        | Error e -> Printf.printf "FAIL golden/%s\n  %s\n" n e)
+      golden;
+    let golden_pass = List.for_all (fun (_, r) -> Result.is_ok r) golden in
+    let json =
+      let golden_json =
+        Json.List
+          (List.map
+             (fun (n, r) ->
+               Json.Obj
+                 (("name", Json.String n)
+                 :: ("pass", Json.Bool (Result.is_ok r))
+                 ::
+                 (match r with
+                 | Ok () -> []
+                 | Error e -> [ ("error", Json.String e) ])))
+             golden)
+      in
+      match Ck.Conformance.report_to_json report with
+      | Json.Obj fields -> Json.Obj (fields @ [ ("golden", golden_json) ])
+      | j -> j
+    in
+    Option.iter (fun path -> Json.write ~path json) out;
+    Printf.printf
+      "conformance: %d/%d bands within tolerance, %d/%d golden traces match\n"
+      (report.Ck.Conformance.bands_total - report.Ck.Conformance.bands_failed)
+      report.Ck.Conformance.bands_total
+      (List.length (List.filter (fun (_, r) -> Result.is_ok r) golden))
+      (List.length golden);
+    if not (report.Ck.Conformance.pass && golden_pass) then exit 1
+  end
+
+let check_cmd =
+  let only =
+    let doc =
+      "Run only conformance cases whose name contains $(docv); golden traces \
+       match against golden/<name>."
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"SUBSTR" ~doc)
+  in
+  let update_golden =
+    let doc = "Re-record the golden trace files and exit." in
+    Arg.(value & flag & info [ "update-golden" ] ~doc)
+  in
+  let golden_dir =
+    let doc = "Directory holding the golden trace files." in
+    Arg.(value & opt string "test/golden" & info [ "golden-dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Differential conformance: packet simulations vs fluid-model tolerance \
+     bands, fault-recovery checks and golden-trace regression."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run_check $ only $ out_opt $ update_golden $ golden_dir)
+
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
@@ -538,5 +640,5 @@ let () =
           [
             list_cmd; run_cmd; sweep_cmd; scenario_a_cmd; scenario_b_cmd;
             scenario_c_cmd; trace_cmd; fattree_cmd; fattree_dynamic_cmd;
-            responsiveness_cmd; wireless_cmd; fluid_cmd;
+            responsiveness_cmd; wireless_cmd; fluid_cmd; check_cmd;
           ]))

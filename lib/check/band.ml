@@ -1,0 +1,58 @@
+module Json = Repro_stats.Json
+
+type t = {
+  id : string;
+  metric : string;
+  expected : float;
+  lo : float;
+  hi : float;
+  source : string;
+}
+
+let make ~id ~metric ~expected ~lo ~hi ~source =
+  if not (Float.is_finite lo && Float.is_finite hi && lo <= hi) then
+    invalid_arg (Printf.sprintf "Band %s: empty interval [%g, %g]" id lo hi);
+  { id; metric; expected; lo; hi; source }
+
+let around ~id ~metric ?(rtol = 0.) ?(atol = 0.) ~source expected =
+  let width = (rtol *. abs_float expected) +. atol in
+  if width <= 0. then
+    invalid_arg (Printf.sprintf "Band %s: zero-width band" id);
+  make ~id ~metric ~expected ~lo:(expected -. width) ~hi:(expected +. width)
+    ~source
+
+let within ~id ~metric ~source ~expected ~lo ~hi =
+  make ~id ~metric ~expected ~lo ~hi ~source
+
+(* Loss probabilities: the packet simulator and the fluid models agree
+   on goodput to ~10% but on loss only to a small factor (RED actuates
+   drops very differently from the models' p(y) laws), so losses are
+   checked multiplicatively. *)
+let loss ~id ~metric ?(factor = 3.) ~source expected =
+  if expected <= 0. then
+    invalid_arg (Printf.sprintf "Band %s: loss expectation must be > 0" id);
+  if factor <= 1. then
+    invalid_arg (Printf.sprintf "Band %s: loss factor must be > 1" id);
+  make ~id ~metric ~expected ~lo:(expected /. factor) ~hi:(expected *. factor)
+    ~source
+
+type result = { band : t; actual : float; pass : bool }
+
+let check band actual =
+  let pass =
+    Float.is_finite actual && actual >= band.lo && actual <= band.hi
+  in
+  { band; actual; pass }
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("id", Json.String r.band.id);
+      ("metric", Json.String r.band.metric);
+      ("expected", Json.Float r.band.expected);
+      ("lo", Json.Float r.band.lo);
+      ("hi", Json.Float r.band.hi);
+      ("actual", Json.Float r.actual);
+      ("pass", Json.Bool r.pass);
+      ("source", Json.String r.band.source);
+    ]

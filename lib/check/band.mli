@@ -1,0 +1,53 @@
+(** Tolerance bands: the unit of conformance.
+
+    A band declares what a metric is expected to be, the interval in
+    which the packet simulator's measurement is accepted, and the paper
+    reference that justifies the expectation. Checking a band against a
+    measured value yields a {!result}; a conformance report is a list
+    of them. Everything here is a pure value — deterministic runs
+    produce byte-identical reports. *)
+
+type t = private {
+  id : string;  (** unique slug, e.g. ["a.lia.norm_type1"] *)
+  metric : string;  (** outcome metric the band constrains *)
+  expected : float;  (** the model's prediction (band center or edge) *)
+  lo : float;
+  hi : float;
+  source : string;  (** paper/model reference justifying the band *)
+}
+
+val around :
+  id:string ->
+  metric:string ->
+  ?rtol:float ->
+  ?atol:float ->
+  source:string ->
+  float ->
+  t
+(** [around expected] accepts
+    [expected ± (rtol·|expected| + atol)]. Raises [Invalid_argument]
+    on a zero-width band. *)
+
+val within :
+  id:string ->
+  metric:string ->
+  source:string ->
+  expected:float ->
+  lo:float ->
+  hi:float ->
+  t
+(** An explicit interval, for metrics bracketed by two models (e.g.
+    OLIA between the LIA fixed point and the probing optimum). *)
+
+val loss :
+  id:string -> metric:string -> ?factor:float -> source:string -> float -> t
+(** [loss expected] accepts [\[expected/factor, expected·factor\]]
+    (default factor 3): loss probabilities agree with the fluid models
+    only multiplicatively. *)
+
+type result = { band : t; actual : float; pass : bool }
+
+val check : t -> float -> result
+(** Non-finite actuals never pass. *)
+
+val result_to_json : result -> Repro_stats.Json.t

@@ -1,0 +1,46 @@
+(** The sim-vs-fluid conformance registry.
+
+    Each {!case} runs one measurement — a packet simulation of a paper
+    scenario, a fluid-model cross-validation, or a fault-injection
+    recovery scenario — and checks the resulting metrics against
+    {!Band.t} tolerance bands derived from the paper's analytical
+    predictions. All runs use fixed seeds and deterministic counters, so
+    {!run_all} produces byte-identical reports across invocations. *)
+
+type case = {
+  name : string;  (** slug, e.g. ["a/lia"] or ["fault/link-flap"] *)
+  doc : string;  (** what is being cross-validated, with paper reference *)
+  bands : Band.t list;
+  run : unit -> (string * float) list;  (** metric name/value pairs *)
+}
+
+val cases : unit -> case list
+(** The full registry: scenarios A/B/C under LIA, OLIA and uncoupled
+    Reno vs their fluid predictions; closed-form vs general-solver
+    cross-checks; and the {!Faults} recovery scenarios. Building the
+    registry solves the uncoupled equilibria, so it takes a moment. *)
+
+type case_report = {
+  case : string;
+  doc : string;
+  results : Band.result list;
+  pass : bool;
+}
+
+type report = {
+  cases : case_report list;
+  pass : bool;
+  bands_total : int;
+  bands_failed : int;
+}
+
+val run_case : case -> case_report
+
+val run_all : ?only:string -> unit -> report
+(** Run every case whose name contains [only] (all by default). *)
+
+val case_report_to_json : case_report -> Repro_stats.Json.t
+
+val report_to_json : report -> Repro_stats.Json.t
+(** Machine-readable conformance report: overall verdict, per-case band
+    results with expected/lo/hi/actual and the paper reference. *)

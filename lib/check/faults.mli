@@ -1,0 +1,27 @@
+(** Fault-recovery conformance scenarios: deterministic runs built
+    around {!Repro_netsim.Fault} gates, measured over windows placed
+    before, during and after the injected episode. Each scenario
+    returns a flat metric list; the matching [_bands] value declares
+    what the fluid models predict for those windows. *)
+
+val link_flap : seed:int -> (string * float) list
+(** One OLIA connection over two disjoint 8 Mb/s paths; path 0 is down
+    over [\[40 s, 70 s)]. Metrics: [pre_mbps], [down_mbps],
+    [down_subflow0_mbps], [post_mbps], [reprobed_pkts],
+    [fault_dropped]. *)
+
+val link_flap_bands : Band.t list
+
+val burst_loss : seed:int -> (string * float) list
+(** One Reno connection through an 8 Mb/s bottleneck with a 30%
+    burst-loss episode over [\[40 s, 50 s)]. Metrics: [pre_mbps],
+    [burst_mbps], [post_mbps], [fault_dropped]. *)
+
+val burst_loss_bands : Band.t list
+
+val reorder : seed:int -> (string * float) list
+(** A finite 2000-packet Reno transfer through a packet-reordering
+    window; checks delivery stays exact. Metrics: [completed],
+    [delivered], [reordered]. *)
+
+val reorder_bands : Band.t list

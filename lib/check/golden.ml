@@ -1,0 +1,192 @@
+open Repro_netsim
+module Trace = Repro_obs.Trace
+module Json = Repro_stats.Json
+
+(* Golden-trace regression: three small canonical runs whose full event
+   streams are recorded under [test/golden/]. The comparator zeroes
+   every timestamp before comparing, so a golden check pins the
+   *semantic* event sequence — which packets were enqueued, forwarded,
+   dropped (and why), every cwnd move and state transition — while
+   timing-only refactors of the simulator stay invisible to it. *)
+
+let collect f =
+  let events = ref [] in
+  Trace.set_sink (Some (fun e -> events := e :: !events));
+  Fun.protect ~finally:(fun () -> Trace.set_sink None) f;
+  List.rev !events
+
+let one_way = 0.02
+
+let mk_queue ~sim ~rng ~rate_bps ~buffer_pkts name =
+  Queue.create ~sim ~rng:(Rng.split rng) ~rate_bps ~buffer_pkts
+    ~discipline:Queue.Droptail ~name ()
+
+(* A short Reno transfer through one tight droptail bottleneck: slow
+   start, overflow drops, fast recovery — the core single-path machinery
+   in one trace. *)
+let reno_droptail () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:7 in
+  let q = mk_queue ~sim ~rng ~rate_bps:2e6 ~buffer_pkts:8 "gold-bneck" in
+  let fwd = Pipe.create ~sim ~delay:one_way in
+  let rev = Pipe.create ~sim ~delay:one_way in
+  let paths =
+    [| { Tcp.fwd = [| Queue.hop q; Pipe.hop fwd |]; rev = [| Pipe.hop rev |] } |]
+  in
+  let _conn =
+    Tcp.create ~sim ~cc:(Repro_cc.Reno.create ()) ~paths ~size_pkts:80
+      ~flow_id:0 ()
+  in
+  Sim.run_until sim 60.
+
+(* A short OLIA transfer over two asymmetric paths: exercises coupled
+   window increases and the per-subflow event attribution. *)
+let olia_two_path () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  let q0 = mk_queue ~sim ~rng ~rate_bps:2e6 ~buffer_pkts:10 "gold-p0" in
+  let q1 = mk_queue ~sim ~rng ~rate_bps:1e6 ~buffer_pkts:6 "gold-p1" in
+  let pipe delay = Pipe.create ~sim ~delay in
+  let fwd0 = pipe one_way and rev0 = pipe one_way in
+  let fwd1 = pipe 0.035 and rev1 = pipe 0.035 in
+  let paths =
+    [|
+      { Tcp.fwd = [| Queue.hop q0; Pipe.hop fwd0 |]; rev = [| Pipe.hop rev0 |] };
+      { Tcp.fwd = [| Queue.hop q1; Pipe.hop fwd1 |]; rev = [| Pipe.hop rev1 |] };
+    |]
+  in
+  let _conn =
+    Tcp.create ~sim ~cc:(Repro_cc.Olia.create ()) ~paths ~size_pkts:120
+      ~flow_id:0 ()
+  in
+  Sim.run_until sim 60.
+
+(* A finite transfer through a flapping link: pins the fault-injection
+   event stream — [link_down] drops during the outage, the RTO ladder,
+   and recovery once the gate reopens. *)
+let fault_flap () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:13 in
+  let q = mk_queue ~sim ~rng ~rate_bps:2e6 ~buffer_pkts:10 "gold-flap" in
+  let fwd = Pipe.create ~sim ~delay:one_way in
+  let rev = Pipe.create ~sim ~delay:one_way in
+  let gate = Fault.create ~sim ~rng:(Rng.split rng) ~name:"gold-gate" () in
+  let paths =
+    [|
+      {
+        Tcp.fwd = [| Fault.hop gate; Queue.hop q; Pipe.hop fwd |];
+        rev = [| Pipe.hop rev |];
+      };
+    |]
+  in
+  let _conn =
+    (* 600 pkts at 2 Mb/s ≈ 3.6 s of traffic: the transfer straddles the
+       [2 s, 4 s) outage, so the trace contains link_down drops, the RTO
+       ladder and the post-outage recovery. *)
+    Tcp.create ~sim ~cc:(Repro_cc.Reno.create ()) ~paths ~size_pkts:600
+      ~flow_id:0 ()
+  in
+  Fault.schedule_flap gate ~down_at:2. ~up_at:4.;
+  Sim.run_until sim 120.
+
+let scenarios =
+  [
+    ("reno-droptail", reno_droptail);
+    ("olia-two-path", olia_two_path);
+    ("fault-flap", fault_flap);
+  ]
+
+let names = List.map fst scenarios
+
+let record name =
+  match List.assoc_opt name scenarios with
+  | Some f -> collect f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Golden.record: unknown scenario %S (have: %s)" name
+           (String.concat ", " names))
+
+(* Timestamps carry no semantic weight here: they are kept in the golden
+   files for human debugging but zeroed on both sides before comparing. *)
+let canon : Trace.event -> Trace.event = function
+  | Trace.Pkt_enqueue r -> Trace.Pkt_enqueue { r with time = 0. }
+  | Trace.Pkt_drop r -> Trace.Pkt_drop { r with time = 0. }
+  | Trace.Pkt_forward r -> Trace.Pkt_forward { r with time = 0. }
+  | Trace.Tcp_state r -> Trace.Tcp_state { r with time = 0. }
+  | Trace.Cwnd_update r -> Trace.Cwnd_update { r with time = 0. }
+  | Trace.Rto_fired r -> Trace.Rto_fired { r with time = 0. }
+  | Trace.Subflow_add r -> Trace.Subflow_add { r with time = 0. }
+  | Trace.Subflow_remove r -> Trace.Subflow_remove { r with time = 0. }
+
+let path ~dir name = Filename.concat dir (name ^ ".jsonl")
+
+let update ~dir name =
+  let events = record name in
+  let oc = open_out (path ~dir name) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (Trace.to_json e));
+          output_char oc '\n')
+        events)
+
+let update_all ~dir = List.iter (fun (n, _) -> update ~dir n) scenarios
+
+let load ~dir name =
+  let file = path ~dir name in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "golden file %s missing (run with --update-golden)" file)
+  else
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line -> (
+              match Json.of_string line with
+              | Error e ->
+                  Error (Printf.sprintf "%s:%d: bad JSON: %s" file lineno e)
+              | Ok j -> (
+                  match Trace.of_json j with
+                  | Error e ->
+                      Error
+                        (Printf.sprintf "%s:%d: bad event: %s" file lineno e)
+                  | Ok ev -> go (ev :: acc) (lineno + 1)))
+        in
+        go [] 1)
+
+let show e = Json.to_string (Trace.to_json (canon e))
+
+(* First-divergence diff over the canonicalized streams. Events are
+   compared in their serialized form: non-finite floats print as [null]
+   on both sides (a recorded [infinity] ssthresh reads back as nan), so
+   comparing the JSON lines is what makes recording round-trip. *)
+let compare_events ~name ~want ~got =
+  let rec go i want got =
+    match (want, got) with
+    | [], [] -> Ok ()
+    | w :: _, [] ->
+        Error
+          (Printf.sprintf "%s: trace truncated at event %d; golden has %s" name
+             i (show w))
+    | [], g :: _ ->
+        Error
+          (Printf.sprintf "%s: %d extra event(s) past the golden trace; first: %s"
+             name (List.length got) (show g))
+    | w :: ws, g :: gs ->
+        if show w = show g then go (i + 1) ws gs
+        else
+          Error
+            (Printf.sprintf "%s: first divergence at event %d:\n  golden: %s\n  got:    %s"
+               name i (show w) (show g))
+  in
+  go 0 want got
+
+let check ~dir name =
+  match load ~dir name with
+  | Error _ as e -> e
+  | Ok want -> compare_events ~name ~want ~got:(record name)

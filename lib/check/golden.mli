@@ -1,0 +1,29 @@
+(** Golden-trace regression tests.
+
+    Three small canonical simulations — a Reno transfer through a tight
+    droptail bottleneck, an OLIA transfer over two asymmetric paths, and
+    a finite transfer through a flapping link — have their full
+    {!Repro_obs.Trace} event streams recorded as JSONL under
+    [test/golden/]. A {!check} re-runs the scenario and diffs the
+    semantic event sequence against the recorded one, zeroing all
+    timestamps first: intentional behaviour changes require
+    re-recording with [olia_sim check --update-golden]. *)
+
+val names : string list
+(** The canonical scenario names (also the golden file basenames). *)
+
+val record : string -> Repro_obs.Trace.event list
+(** Run a canonical scenario with a capturing trace sink and return its
+    event stream. Raises [Invalid_argument] on an unknown name.
+    Installs and removes the process-global sink — not for use around
+    concurrent traced runs. *)
+
+val update : dir:string -> string -> unit
+(** Re-record one scenario's golden file ([<dir>/<name>.jsonl]). *)
+
+val update_all : dir:string -> unit
+
+val check : dir:string -> string -> (unit, string) result
+(** Re-run the scenario and compare against the golden file. The error
+    carries a first-divergence diagnostic (event index, golden vs got,
+    both with timestamps zeroed). *)

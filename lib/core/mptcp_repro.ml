@@ -14,6 +14,9 @@
       parameter-sweep engine;
     - {!Obs} — the observability layer: structured event tracing,
       per-run counters/timers, and perf snapshots for the CI gate;
+    - {!Check} — the differential conformance harness: sim-vs-fluid
+      tolerance bands, fault-recovery scenarios and golden-trace
+      regression;
     - {!Stats} — summaries, histograms, time series, table printing and
       the CSV/JSON emitters. *)
 
@@ -32,6 +35,7 @@ end
 
 module Fluid = struct
   module Units = Repro_fluid.Units
+  module Invariant = Repro_fluid.Invariant
   module Roots = Repro_fluid.Roots
   module Tcp_model = Repro_fluid.Tcp_model
   module Scenario_a = Repro_fluid.Scenario_a
@@ -55,6 +59,7 @@ module Netsim = struct
   module Path_manager = Repro_netsim.Path_manager
   module Monitor = Repro_netsim.Monitor
   module Lossy = Repro_netsim.Lossy
+  module Fault = Repro_netsim.Fault
 end
 
 module Topology = struct
@@ -77,6 +82,13 @@ module Obs = struct
   module Trace = Repro_obs.Trace
   module Meter = Repro_obs.Meter
   module Snapshot = Repro_obs.Snapshot
+end
+
+module Check = struct
+  module Band = Repro_check.Band
+  module Faults = Repro_check.Faults
+  module Conformance = Repro_check.Conformance
+  module Golden = Repro_check.Golden
 end
 
 module Scenarios = struct

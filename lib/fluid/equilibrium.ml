@@ -27,6 +27,49 @@ let target_rates algo (user : Network_model.user) losses =
   in
   Array.of_list rates
 
+(* Worst relative gap between [x] and the rates the algorithm would
+   pick at the losses [x] itself induces — zero exactly at a fixed
+   point. Reported in the same units as the iteration's convergence
+   test so the bound below follows from [max_change < tol]. *)
+let residual ?(min_loss = default_options.min_loss) net algo x =
+  let loads = Network_model.link_loads net x in
+  let link_p =
+    Array.mapi
+      (fun i l -> Network_model.link_loss l loads.(i))
+      net.Network_model.links
+  in
+  let route_p = Network_model.route_losses net link_p in
+  let worst = ref 0. in
+  Array.iteri
+    (fun u (user : Network_model.user) ->
+      let losses = Array.map (fun p -> Stdlib.max p min_loss) route_p.(u) in
+      let target = target_rates algo user losses in
+      Array.iteri
+        (fun r xt ->
+          let scale = Stdlib.max (abs_float x.(u).(r)) 1e-9 in
+          let gap = abs_float (xt -. x.(u).(r)) /. scale in
+          if gap > !worst then worst := gap)
+        target)
+    net.Network_model.users;
+  !worst
+
+(* A damped step that moved less than [tol·scale] means the gap to the
+   target was below [tol/damping·scale]; allow 50× slack for the
+   target map's own sensitivity between the last two iterates. *)
+let residual_bound options = 50. *. options.tol /. options.damping
+
+let check_fixed_point ?(options = default_options) net algo x =
+  if Invariant.enabled () then begin
+    let r = residual ~min_loss:options.min_loss net algo x in
+    Invariant.require (Float.is_finite r)
+      "Equilibrium: non-finite residual at claimed fixed point";
+    Invariant.require
+      (r <= residual_bound options)
+      (Printf.sprintf
+         "Equilibrium: residual %.3g exceeds solver bound %.3g" r
+         (residual_bound options))
+  end
+
 let solve ?(options = default_options) net algo =
   Network_model.validate net;
   let { damping; max_iter; tol; min_loss } = options in
@@ -63,7 +106,11 @@ let solve ?(options = default_options) net algo =
             if change > !max_change then max_change := change)
           target)
       net.users;
-    if !max_change < tol then x else iterate (k + 1)
+    if !max_change < tol then begin
+      check_fixed_point ~options net algo x;
+      x
+    end
+    else iterate (k + 1)
   in
   iterate 0
 

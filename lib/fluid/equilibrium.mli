@@ -22,7 +22,24 @@ val default_options : options
 val solve :
   ?options:options -> Network_model.t -> algorithm -> float array array
 (** [solve net algo] returns per-user per-route equilibrium rates.
-    Raises [Failure] if the iteration does not converge. *)
+    Raises [Failure] if the iteration does not converge. With
+    {!Invariant.enabled} ([OLIA_DEBUG_INVARIANTS=1]) the converged
+    point is re-checked through {!check_fixed_point} before it is
+    returned. *)
+
+val residual :
+  ?min_loss:float -> Network_model.t -> algorithm -> float array array -> float
+(** Worst relative gap between an allocation and the rates the
+    algorithm's loss–throughput formula assigns at the losses that
+    allocation induces: exactly 0 at a fixed point. [min_loss] floors
+    route losses as in {!solve} (default {!default_options}). *)
+
+val check_fixed_point :
+  ?options:options -> Network_model.t -> algorithm -> float array array -> unit
+(** When {!Invariant.enabled}, raises [Invariant.Violation] unless
+    {!residual} is finite and within [50·tol/damping] — the bound the
+    damped iteration's own convergence test implies. A no-op when
+    invariants are disarmed. *)
 
 val user_utilities : Network_model.t -> float array array -> float array
 (** Per-user values of [Σ_r x_r / rtt_r²], the quantity Theorem 3 shows

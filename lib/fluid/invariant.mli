@@ -1,0 +1,19 @@
+(** Debug-time invariant checks for the fluid solvers — the
+    [Repro_netsim.Invariant] discipline applied to root finding and the
+    equilibrium iteration: converged answers must actually satisfy the
+    equations they claim to solve (finite, inside the bracket, residual
+    below the solver tolerance).
+
+    Armed by [OLIA_DEBUG_INVARIANTS=1] (same switch as the simulator
+    invariants, so the CI matrix leg arms both) or programmatically via
+    {!set_enabled}. Disarmed, every check site costs one ref read. *)
+
+exception Violation of string
+(** Raised by {!require} when an armed check fails. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val require : bool -> string -> unit
+(** [require cond msg] raises [Violation msg] unless [cond]. Call sites
+    guard with {!enabled} so message construction is free when off. *)

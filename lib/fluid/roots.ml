@@ -1,16 +1,32 @@
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
   let flo = f lo and fhi = f hi in
-  if Float.equal flo 0. then lo
-  else if Float.equal fhi 0. then hi
+  (* Armed invariant: a bisection answer is a finite point of the
+     original bracket whose function value is finite — catches NaN
+     escapes from the fixed-point polynomials before they propagate
+     into rate allocations. *)
+  let check root =
+    if Invariant.enabled () then begin
+      Invariant.require (Float.is_finite root) "Roots.bisect: non-finite root";
+      Invariant.require
+        (root >= lo && root <= hi)
+        "Roots.bisect: root escaped the bracket";
+      Invariant.require
+        (Float.is_finite (f root))
+        "Roots.bisect: non-finite f at root"
+    end;
+    root
+  in
+  if Float.equal flo 0. then check lo
+  else if Float.equal fhi 0. then check hi
   else if flo *. fhi > 0. then
     invalid_arg "Roots.bisect: no sign change on the interval"
   else
     let rec loop lo hi flo iter =
       let mid = 0.5 *. (lo +. hi) in
-      if hi -. lo < tol || iter = 0 then mid
+      if hi -. lo < tol || iter = 0 then check mid
       else
         let fmid = f mid in
-        if Float.equal fmid 0. then mid
+        if Float.equal fmid 0. then check mid
         else if flo *. fmid < 0. then loop lo mid flo (iter - 1)
         else loop mid hi fmid (iter - 1)
     in
@@ -37,7 +53,11 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
     if iter = 0 then failwith "Roots.newton: no convergence"
     else
       let fx = f x in
-      if abs_float fx < tol then x
+      if abs_float fx < tol then begin
+        if Invariant.enabled () then
+          Invariant.require (Float.is_finite x) "Roots.newton: non-finite root";
+        x
+      end
       else
         let d = df x in
         if Float.equal d 0. then failwith "Roots.newton: zero derivative"

@@ -31,7 +31,9 @@ let scope_r1 path = not (under [ "lib"; "netsim"; "rng.ml" ] path)
 let scope_r2 path = under [ "lib" ] path
 
 let scope_r3 path =
-  under [ "lib"; "fluid" ] path || under [ "lib"; "cc" ] path
+  under [ "lib"; "fluid" ] path
+  || under [ "lib"; "cc" ] path
+  || under [ "test" ] path
 
 let scope_r4 path = under [ "lib" ] path
 let scope_r6 _ = true

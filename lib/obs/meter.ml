@@ -20,10 +20,11 @@ type report = {
   drops_overflow : int;
   drops_red : int;
   drops_random : int;
+  subflow_goodput_bps : (string * float) list;
 }
 
 let finish t ~sim_s ~events_processed ~max_heap_depth ~drops_overflow
-    ~drops_red ~drops_random =
+    ~drops_red ~drops_random ~subflow_goodput_bps =
   let wall_s = Unix.gettimeofday () -. t.started_at in
   let wall_per_sim_s = if sim_s > 0. then wall_s /. sim_s else nan in
   {
@@ -35,6 +36,7 @@ let finish t ~sim_s ~events_processed ~max_heap_depth ~drops_overflow
     drops_overflow;
     drops_red;
     drops_random;
+    subflow_goodput_bps;
   }
 
 (* Deterministic counters only: these are a function of the seed, so
@@ -49,6 +51,9 @@ let metrics r =
     ("obs_drops_red", float_of_int r.drops_red);
     ("obs_drops_random", float_of_int r.drops_random);
   ]
+  @ List.map
+      (fun (label, bps) -> ("obs_subflow_goodput_bps_" ^ label, bps))
+      r.subflow_goodput_bps
 
 let to_json r =
   Json.Obj
@@ -61,4 +66,9 @@ let to_json r =
       ("drops_overflow", Json.Int r.drops_overflow);
       ("drops_red", Json.Int r.drops_red);
       ("drops_random", Json.Int r.drops_random);
+      ( "subflow_goodput_bps",
+        Json.Obj
+          (List.map
+             (fun (label, bps) -> (label, Json.Float bps))
+             r.subflow_goodput_bps) );
     ]

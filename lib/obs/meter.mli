@@ -19,6 +19,10 @@ type report = {
   drops_overflow : int;  (** data drops from full buffers *)
   drops_red : int;  (** data drops from RED early marking *)
   drops_random : int;  (** drops from lossy links *)
+  subflow_goodput_bps : (string * float) list;
+      (** labelled per-subflow goodputs, bit/s (e.g.
+          [("type1_sf0", 9.1e5)]); empty when a scenario does not
+          export them *)
 }
 
 val finish :
@@ -29,12 +33,15 @@ val finish :
   drops_overflow:int ->
   drops_red:int ->
   drops_random:int ->
+  subflow_goodput_bps:(string * float) list ->
   report
 
 val metrics : report -> (string * float) list
 (** The deterministic counters as [("obs_*", v)] pairs, suitable for
-    [Exp.Outcome]. Wall timers are deliberately excluded: sweep results
-    must be byte-reproducible across runs and domain counts. *)
+    [Exp.Outcome]; each [subflow_goodput_bps] entry becomes
+    [obs_subflow_goodput_bps_<label>]. Wall timers are deliberately
+    excluded: sweep results must be byte-reproducible across runs and
+    domain counts. *)
 
 val to_json : report -> Repro_stats.Json.t
 (** The full report, wall timers included. *)

@@ -12,7 +12,7 @@
 module Json = Repro_stats.Json
 
 type tcp_state = Slow_start | Congestion_avoidance | Fast_recovery
-type drop_cause = Overflow | Red_early | Random_loss
+type drop_cause = Overflow | Red_early | Random_loss | Link_down
 
 type event =
   | Pkt_enqueue of {
@@ -75,11 +75,13 @@ let cause_name = function
   | Overflow -> "overflow"
   | Red_early -> "red_early"
   | Random_loss -> "random_loss"
+  | Link_down -> "link_down"
 
 let cause_of_name = function
   | "overflow" -> Some Overflow
   | "red_early" -> Some Red_early
   | "random_loss" -> Some Random_loss
+  | "link_down" -> Some Link_down
   | _ -> None
 
 (* Every object leads with an "ev" discriminator so a stream consumer

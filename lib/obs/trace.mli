@@ -17,6 +17,7 @@ type drop_cause =
   | Overflow  (** buffer full on arrival *)
   | Red_early  (** RED early (probabilistic) drop *)
   | Random_loss  (** lossy-link Bernoulli drop *)
+  | Link_down  (** fault-injected outage swallowed the packet *)
 
 type event =
   | Pkt_enqueue of {

@@ -12,6 +12,9 @@ val factory_of_name : string -> cc_factory
 type measured = {
   goodput_pps : float;  (** packets per second over the measurement window *)
   goodput_mbps : float;
+  per_subflow_mbps : float array;
+      (** the same window split by subflow, indexed like the
+          connection's paths *)
 }
 
 val measure_conns :
@@ -31,11 +34,21 @@ val observe :
   meter:Repro_obs.Meter.t ->
   sim:Repro_netsim.Sim.t ->
   ?lossy:Repro_netsim.Lossy.t list ->
+  ?subflow_goodput_bps:(string * float) list ->
   Repro_netsim.Queue.t list ->
   Repro_obs.Meter.report
 (** Finish a run's meter from the simulator's counters and the drop
-    split summed over [queues] (plus any [lossy] hops). Call it after
-    the event loop, before building the result record. *)
+    split summed over [queues] (plus any [lossy] hops), attaching any
+    labelled per-subflow goodputs (see {!subflow_goodput_bps}). Call it
+    after the event loop, before building the result record. *)
+
+val subflow_goodput_bps :
+  label:string -> subflows:int -> measured list -> (string * float) list
+(** [subflow_goodput_bps ~label ~subflows ms] averages
+    [per_subflow_mbps] across the class [ms] and returns
+    [("<label>_sf<i>", bit/s)] for [i < subflows]. The label set is
+    fixed by [subflows] — connections lacking a subflow contribute 0 —
+    so metric names stay uniform across parameter points. *)
 
 val paper_rtt : float
 (** 0.150 s — the testbed's operating-point RTT (80 ms propagation plus

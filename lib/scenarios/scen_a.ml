@@ -85,12 +85,18 @@ let run cfg =
   in
   let rates = List.map (fun m -> m.Common.goodput_mbps) measured in
   let r1, r2 = Common.split_at cfg.n1 rates in
+  let m1, m2 = Common.split_at cfg.n1 measured in
   {
     norm_type1 = Common.mean r1 /. cfg.c1_mbps;
     norm_type2 = Common.mean r2 /. cfg.c2_mbps;
     p1 = Queue.loss_probability q1;
     p2 = Queue.loss_probability q2;
-    obs = Common.observe ~meter ~sim [ q1; q2 ];
+    obs =
+      Common.observe ~meter ~sim
+        ~subflow_goodput_bps:
+          (Common.subflow_goodput_bps ~label:"type1" ~subflows:2 m1
+          @ Common.subflow_goodput_bps ~label:"type2" ~subflows:1 m2)
+        [ q1; q2 ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

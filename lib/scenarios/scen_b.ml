@@ -78,13 +78,19 @@ let run cfg =
   in
   let rates = List.map (fun m -> m.Common.goodput_mbps) measured in
   let rb, rr = Common.split_at cfg.n rates in
+  let mb, mr = Common.split_at cfg.n measured in
   {
     blue_rate = Common.mean rb;
     red_rate = Common.mean rr;
     aggregate = List.fold_left ( +. ) 0. rates;
     px = Queue.loss_probability qx;
     pt = Queue.loss_probability qt;
-    obs = Common.observe ~meter ~sim [ qx; qt ];
+    obs =
+      Common.observe ~meter ~sim
+        ~subflow_goodput_bps:
+          (Common.subflow_goodput_bps ~label:"blue" ~subflows:2 mb
+          @ Common.subflow_goodput_bps ~label:"red" ~subflows:2 mr)
+        [ qx; qt ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

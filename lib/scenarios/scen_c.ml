@@ -91,12 +91,18 @@ let run cfg =
   in
   let rates = List.map (fun m -> m.Common.goodput_mbps) measured in
   let rm, rs = Common.split_at cfg.n1 rates in
+  let mm, ms = Common.split_at cfg.n1 measured in
   {
     norm_multipath = Common.mean rm /. cfg.c1_mbps;
     norm_single = Common.mean rs /. cfg.c2_mbps;
     p1 = Queue.loss_probability ap1;
     p2 = Queue.loss_probability ap2;
-    obs = Common.observe ~meter ~sim [ ap1; ap2 ];
+    obs =
+      Common.observe ~meter ~sim
+        ~subflow_goodput_bps:
+          (Common.subflow_goodput_bps ~label:"multipath" ~subflows:2 mm
+          @ Common.subflow_goodput_bps ~label:"single" ~subflows:1 ms)
+        [ ap1; ap2 ];
   }
 
 let replicate cfg ~seeds = List.map (fun seed -> run { cfg with seed }) seeds

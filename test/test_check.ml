@@ -1,0 +1,297 @@
+(* Tests of the differential conformance harness (lib/check): tolerance
+   bands, the fault-injection gate, the sim-vs-fluid case registry, the
+   fluid residual invariants and the golden-trace comparator. *)
+
+open Mptcp_repro.Netsim
+module Ck = Mptcp_repro.Check
+module F = Mptcp_repro.Fluid
+module Json = Mptcp_repro.Stats.Json
+
+(* --- bands -------------------------------------------------------------- *)
+
+let test_band_around () =
+  let b =
+    Ck.Band.around ~id:"t" ~metric:"m" ~rtol:0.1 ~atol:0.05 ~source:"s" 10.
+  in
+  Test_common.close "lo" 8.95 b.Ck.Band.lo;
+  Test_common.close "hi" 11.05 b.Ck.Band.hi;
+  Alcotest.(check bool) "inside" true (Ck.Band.check b 9.).Ck.Band.pass;
+  Alcotest.(check bool) "edge lo" true (Ck.Band.check b 8.95).Ck.Band.pass;
+  Alcotest.(check bool) "below" false (Ck.Band.check b 8.9).Ck.Band.pass;
+  Alcotest.(check bool) "above" false (Ck.Band.check b 11.1).Ck.Band.pass;
+  Alcotest.(check bool) "nan fails" false
+    (Ck.Band.check b Float.nan).Ck.Band.pass;
+  Alcotest.(check bool) "inf fails" false
+    (Ck.Band.check b infinity).Ck.Band.pass
+
+let test_band_validation () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Band t: zero-width band") (fun () ->
+      ignore (Ck.Band.around ~id:"t" ~metric:"m" ~source:"s" 10.));
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Band t: empty interval [2, 1]") (fun () ->
+      ignore
+        (Ck.Band.within ~id:"t" ~metric:"m" ~source:"s" ~expected:1.5 ~lo:2.
+           ~hi:1.));
+  Alcotest.check_raises "loss needs positive expectation"
+    (Invalid_argument "Band t: loss expectation must be > 0") (fun () ->
+      ignore (Ck.Band.loss ~id:"t" ~metric:"m" ~source:"s" 0.))
+
+let test_band_loss_multiplicative () =
+  let b = Ck.Band.loss ~id:"t" ~metric:"p" ~source:"s" 0.01 in
+  Alcotest.(check bool) "third passes" true
+    (Ck.Band.check b (0.01 /. 3.)).Ck.Band.pass;
+  Alcotest.(check bool) "triple passes" true
+    (Ck.Band.check b 0.03).Ck.Band.pass;
+  Alcotest.(check bool) "quadruple fails" false
+    (Ck.Band.check b 0.04).Ck.Band.pass
+
+(* --- the fault gate ----------------------------------------------------- *)
+
+let drain_route hops =
+  let delivered = ref 0 in
+  let sink (_ : Packet.t) = incr delivered in
+  (Array.append hops [| sink |], delivered)
+
+let test_fault_down_drops_everything () =
+  let sim = Sim.create () in
+  let gate = Fault.create ~sim ~rng:(Rng.create ~seed:1) () in
+  let route, delivered = drain_route [| Fault.hop gate |] in
+  Fault.set_mode gate Fault.Down;
+  Packet.forward (Packet.data ~flow:0 ~subflow:0 ~seq:0 ~sent_at:0. ~route);
+  Packet.forward (Packet.ack ~flow:0 ~subflow:0 ~ackno:0 ~echo:0. ~sack:None ~route ~sent_at:0.);
+  Sim.run sim;
+  Alcotest.(check int) "nothing through" 0 !delivered;
+  Alcotest.(check int) "both dropped" 2 (Fault.dropped gate);
+  Alcotest.(check bool) "is_down" true (Fault.is_down gate)
+
+let test_fault_burst_spares_acks () =
+  let sim = Sim.create () in
+  let gate = Fault.create ~sim ~rng:(Rng.create ~seed:1) () in
+  let route, delivered = drain_route [| Fault.hop gate |] in
+  Fault.set_mode gate (Fault.Burst { loss_prob = 0.5 });
+  for i = 0 to 199 do
+    Packet.forward (Packet.data ~flow:0 ~subflow:0 ~seq:i ~sent_at:0. ~route)
+  done;
+  let data_through = !delivered in
+  for i = 0 to 49 do
+    Packet.forward (Packet.ack ~flow:0 ~subflow:0 ~ackno:i ~echo:0. ~sack:None ~route ~sent_at:0.)
+  done;
+  Sim.run sim;
+  Alcotest.(check bool) "some data dropped" true (Fault.dropped gate > 0);
+  Alcotest.(check bool) "some data passed" true (data_through > 0);
+  Alcotest.(check int) "all acks pass" (data_through + 50) !delivered
+
+let test_fault_schedule_validation () =
+  let sim = Sim.create () in
+  let gate = Fault.create ~sim ~rng:(Rng.create ~seed:1) () in
+  Alcotest.(check bool) "starts up" false (Fault.is_down gate);
+  Alcotest.check_raises "flap order"
+    (Invalid_argument "Fault.schedule_flap: up_at <= down_at") (fun () ->
+      Fault.schedule_flap gate ~down_at:5. ~up_at:5.);
+  Alcotest.check_raises "burst prob"
+    (Invalid_argument "Fault.set_mode: burst loss_prob must be in [0, 1)")
+    (fun () -> Fault.set_mode gate (Fault.Burst { loss_prob = 1. }))
+
+let test_fault_reorder_delivers_late () =
+  let sim = Sim.create () in
+  let gate = Fault.create ~sim ~rng:(Rng.create ~seed:3) () in
+  let route, delivered = drain_route [| Fault.hop gate |] in
+  Fault.set_mode gate (Fault.Reorder { prob = 1.; extra_delay = 0.5 });
+  Packet.forward (Packet.data ~flow:0 ~subflow:0 ~seq:0 ~sent_at:0. ~route);
+  Alcotest.(check int) "held back" 0 !delivered;
+  Sim.run sim;
+  Alcotest.(check int) "delivered late" 1 !delivered;
+  Alcotest.(check int) "counted" 1 (Fault.reordered gate);
+  Test_common.close "clock advanced" 0.5 (Sim.now sim)
+
+(* --- conformance cases -------------------------------------------------- *)
+
+(* The full registry (9 packet simulations of 120 s each) runs under the
+   CI conformance job via [olia_sim check]; here we exercise the fast
+   cases end to end and the machinery around them. *)
+
+let test_fluid_cross_cases_pass () =
+  let report = Ck.Conformance.run_all ~only:"fluid/" () in
+  Alcotest.(check int) "two cases" 2
+    (List.length report.Ck.Conformance.cases);
+  Alcotest.(check bool) "closed forms agree with the solver" true
+    report.Ck.Conformance.pass
+
+let test_fault_cases_pass () =
+  let report = Ck.Conformance.run_all ~only:"fault/" () in
+  Alcotest.(check int) "three cases" 3
+    (List.length report.Ck.Conformance.cases);
+  Alcotest.(check bool) "recovery within bands" true
+    report.Ck.Conformance.pass
+
+let test_report_deterministic () =
+  let render () =
+    Json.to_string
+      (Ck.Conformance.report_to_json (Ck.Conformance.run_all ~only:"fault/" ()))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical reports" a b
+
+let test_missing_metric_fails () =
+  let case =
+    {
+      Ck.Conformance.name = "synthetic";
+      doc = "a band over a metric the run does not produce";
+      bands =
+        [ Ck.Band.around ~id:"x" ~metric:"absent" ~rtol:0.1 ~source:"s" 1. ];
+      run = (fun () -> [ ("present", 1.) ]);
+    }
+  in
+  let r = Ck.Conformance.run_case case in
+  Alcotest.(check bool) "case fails" false r.Ck.Conformance.pass
+
+let test_report_json_shape () =
+  let report = Ck.Conformance.run_all ~only:"fluid/a-lia" () in
+  match Ck.Conformance.report_to_json report with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "pass field" true
+        (List.mem_assoc "pass" fields && List.mem_assoc "cases" fields);
+      Alcotest.(check bool) "band counts" true
+        (List.assoc "bands_total" fields = Json.Int 2
+        && List.assoc "bands_failed" fields = Json.Int 0)
+  | _ -> Alcotest.fail "report must be a JSON object"
+
+(* --- fluid residual invariants ------------------------------------------ *)
+
+let with_fluid_invariants f =
+  let was = F.Invariant.enabled () in
+  F.Invariant.set_enabled true;
+  Fun.protect ~finally:(fun () -> F.Invariant.set_enabled was) f
+
+let small_net () =
+  {
+    F.Network_model.links = [| F.Network_model.link 100. |];
+    users =
+      [|
+        { F.Network_model.routes = [| { F.Network_model.links = [| 0 |]; rtt = 0.1 } |] };
+      |];
+  }
+
+let test_armed_solve_passes () =
+  with_fluid_invariants (fun () ->
+      let x = F.Equilibrium.solve (small_net ()) F.Equilibrium.Uncoupled in
+      Alcotest.(check bool) "positive rate" true (x.(0).(0) > 0.))
+
+let test_misconverged_point_trips () =
+  with_fluid_invariants (fun () ->
+      let net = small_net () in
+      let x = F.Equilibrium.solve net F.Equilibrium.Uncoupled in
+      (* a deliberately mis-converged allocation: double the rate *)
+      let bad = [| [| 2. *. x.(0).(0) |] |] in
+      let trips =
+        try
+          F.Equilibrium.check_fixed_point net F.Equilibrium.Uncoupled bad;
+          false
+        with F.Invariant.Violation _ -> true
+      in
+      Alcotest.(check bool) "perturbed point trips the invariant" true trips;
+      Alcotest.(check bool) "residual is large" true
+        (F.Equilibrium.residual net F.Equilibrium.Uncoupled bad > 0.1))
+
+let test_dormant_invariants_stay_quiet () =
+  let was = F.Invariant.enabled () in
+  F.Invariant.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> F.Invariant.set_enabled was)
+    (fun () ->
+      let net = small_net () in
+      let bad = [| [| 1e6 |] |] in
+      F.Equilibrium.check_fixed_point net F.Equilibrium.Uncoupled bad)
+
+(* --- golden traces ------------------------------------------------------ *)
+
+(* dune copies test/golden/*.jsonl next to the test binary. *)
+let golden_dir = "golden"
+
+let test_golden_all_match () =
+  List.iter
+    (fun name ->
+      match Ck.Golden.check ~dir:golden_dir name with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    Ck.Golden.names
+
+let test_golden_detects_divergence () =
+  (* re-record one golden trace into a temp dir, flip a semantic field,
+     and make sure the comparator reports the divergence *)
+  let dir = Filename.temp_file "golden" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Ck.Golden.update ~dir "reno-droptail";
+  let file = Filename.concat dir "reno-droptail.jsonl" in
+  let ic = open_in file in
+  let lines =
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | l -> go (l :: acc)
+    in
+    go []
+  in
+  close_in ic;
+  (* dropping a semantic event must be reported as a divergence *)
+  let mutated = List.filteri (fun i _ -> i <> 1) lines in
+  let oc = open_out file in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    mutated;
+  close_out oc;
+  (match Ck.Golden.check ~dir "reno-droptail" with
+  | Ok () -> Alcotest.fail "mutation must be detected"
+  | Error e ->
+      Alcotest.(check bool) "diagnostic names the divergence" true
+        (String.length e > 0));
+  Sys.remove file;
+  Unix.rmdir dir
+
+let test_golden_unknown_name () =
+  Alcotest.(check bool) "unknown name rejected" true
+    (try
+       ignore (Ck.Golden.record "no-such-scenario");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "band: around and edges" `Quick test_band_around;
+    Alcotest.test_case "band: validation" `Quick test_band_validation;
+    Alcotest.test_case "band: loss is multiplicative" `Quick
+      test_band_loss_multiplicative;
+    Alcotest.test_case "fault: down drops data and acks" `Quick
+      test_fault_down_drops_everything;
+    Alcotest.test_case "fault: burst spares acks" `Quick
+      test_fault_burst_spares_acks;
+    Alcotest.test_case "fault: schedule validation" `Quick
+      test_fault_schedule_validation;
+    Alcotest.test_case "fault: reorder delivers late" `Quick
+      test_fault_reorder_delivers_late;
+    Alcotest.test_case "conformance: fluid cross-validation" `Quick
+      test_fluid_cross_cases_pass;
+    Alcotest.test_case "conformance: fault recovery" `Slow
+      test_fault_cases_pass;
+    Alcotest.test_case "conformance: deterministic report" `Slow
+      test_report_deterministic;
+    Alcotest.test_case "conformance: missing metric fails" `Quick
+      test_missing_metric_fails;
+    Alcotest.test_case "conformance: report JSON shape" `Quick
+      test_report_json_shape;
+    Alcotest.test_case "equilibrium: armed solve passes" `Quick
+      test_armed_solve_passes;
+    Alcotest.test_case "equilibrium: mis-converged point trips" `Quick
+      test_misconverged_point_trips;
+    Alcotest.test_case "equilibrium: dormant invariants quiet" `Quick
+      test_dormant_invariants_stay_quiet;
+    Alcotest.test_case "golden: canonical traces match" `Slow
+      test_golden_all_match;
+    Alcotest.test_case "golden: divergence detected" `Quick
+      test_golden_detects_divergence;
+    Alcotest.test_case "golden: unknown name" `Quick test_golden_unknown_name;
+  ]

@@ -1,9 +1,24 @@
-(* Unit tests for the scenario plumbing helpers. *)
+(* Unit tests for the scenario plumbing helpers, plus the one float
+   comparison the whole suite shares. *)
 
 module C = Mptcp_repro.Scenarios.Common
 open Mptcp_repro.Netsim
 
-let check_close eps = Alcotest.(check (float eps))
+(* Shared float assertion: passes when the values are identical under
+   [Float.equal] (so exact-determinism checks and non-finite expectations
+   both work — [Float.equal] holds for [nan]/[nan]) or within
+   [rtol·|expected| + atol]. With both tolerances 0 this is an exact
+   check. *)
+let close ?(rtol = 0.) ?(atol = 0.) msg expected actual =
+  let ok =
+    Float.equal expected actual
+    || abs_float (actual -. expected) <= (rtol *. abs_float expected) +. atol
+  in
+  if not ok then
+    Alcotest.failf "%s: expected %.17g, got %.17g (rtol %g, atol %g)" msg
+      expected actual rtol atol
+
+let check_close eps = close ~atol:eps
 
 let test_mean () =
   check_close 1e-12 "mean" 2. (C.mean [ 1.; 2.; 3. ]);

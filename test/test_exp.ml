@@ -253,7 +253,7 @@ let test_emitters () =
   Alcotest.(check int) "csv: header + 8 rows" 9 (List.length csv);
   Alcotest.(check string)
     "csv header is params then metrics"
-    "n1,n2,c1,c2,algo,duration,warmup,seed,norm_type1,norm_type2,p1,p2,obs_events,obs_max_heap_depth,obs_drops_overflow,obs_drops_red,obs_drops_random"
+    "n1,n2,c1,c2,algo,duration,warmup,seed,norm_type1,norm_type2,p1,p2,obs_events,obs_max_heap_depth,obs_drops_overflow,obs_drops_red,obs_drops_random,obs_subflow_goodput_bps_type1_sf0,obs_subflow_goodput_bps_type1_sf1,obs_subflow_goodput_bps_type2_sf0"
     (List.hd csv);
   let agg_csv = read_lines agg_path in
   Alcotest.(check int) "agg csv: header + 2 rows" 3 (List.length agg_csv);

@@ -84,8 +84,10 @@ let order a b = compare (a *. 2.) b
   check_count "three structural float comparisons" Finding.R3 3 f
 
 let test_r3_scoped_to_numerics () =
-  check_count "outside lib/fluid and lib/cc" Finding.R3 0
-    (lint ~path:"lib/netsim/x.ml" "let is_zero x = x = 0.")
+  check_count "outside lib/fluid, lib/cc and test" Finding.R3 0
+    (lint ~path:"lib/netsim/x.ml" "let is_zero x = x = 0.");
+  check_count "tests are in scope" Finding.R3 1
+    (lint ~path:"test/test_x.ml" "let is_zero x = x = 0.")
 
 let test_r3_int_compare_fine () =
   check_count "integer equality untouched" Finding.R3 0

@@ -17,4 +17,5 @@ let () =
       ("common", Test_common.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]

@@ -53,6 +53,16 @@ let every_variant =
         kind = "ack";
         cause = Trace.Random_loss;
       };
+    Trace.Pkt_drop
+      {
+        time = 0.875;
+        queue = "fault-gate";
+        flow = 2;
+        subflow = 1;
+        seq = 13;
+        kind = "data";
+        cause = Trace.Link_down;
+      };
     Trace.Pkt_forward
       {
         time = 1.5;
@@ -170,7 +180,7 @@ let test_counters_match_monitor () =
       ~events_processed:(Sim.events_processed sim)
       ~max_heap_depth:(Sim.max_heap_depth sim)
       ~drops_overflow:(Queue.drops_overflow q) ~drops_red:(Queue.drops_red q)
-      ~drops_random:0
+      ~drops_random:0 ~subflow_goodput_bps:[]
   in
   Alcotest.(check int) "overflow drops" 15 r.Meter.drops_overflow;
   Alcotest.(check int) "no red drops on droptail" 0 r.Meter.drops_red;
@@ -207,10 +217,24 @@ let test_scenario_metrics_exported () =
       "obs_drops_overflow";
       "obs_drops_red";
       "obs_drops_random";
+      "obs_subflow_goodput_bps_type1_sf0";
+      "obs_subflow_goodput_bps_type1_sf1";
+      "obs_subflow_goodput_bps_type2_sf0";
     ];
   Alcotest.(check bool)
     "a real run dispatches events" true
     (List.assoc "obs_events" metrics > 0.);
+  (* the per-subflow goodputs feed the conformance harness: on scenario A
+     every subflow carries traffic, so each must report a positive rate *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " positive") true
+        (List.assoc key metrics > 0.))
+    [
+      "obs_subflow_goodput_bps_type1_sf0";
+      "obs_subflow_goodput_bps_type1_sf1";
+      "obs_subflow_goodput_bps_type2_sf0";
+    ];
   (* and through the registry: the outcome carries the same keys *)
   let (module Sc : S.Registry.SCENARIO) = S.Registry.find "scenario-a" in
   let outcome =

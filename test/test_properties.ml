@@ -323,6 +323,87 @@ let prop_workload_poisson_sorted_within_duration =
       in
       sorted 0. flows)
 
+(* --- congestion-control update rules ----------------------------------- *)
+
+let views_of specs =
+  Array.of_list
+    (List.map (fun (w, r) -> { Mptcp_repro.Cc.Types.cwnd = w; rtt = r }) specs)
+
+let prop_olia_increase_bounded =
+  (* Eq. 5: the Kelly-voice term is at most 1/w_r (since Σ w_p/rtt_p >=
+     w_r/rtt_r) and |alpha_r| <= 1/|R|, so a fresh OLIA instance's
+     per-ACK increase never exceeds (1 + 1/|R|)/w_r *)
+  QCheck.Test.make ~name:"olia: per-ACK increase <= (1 + 1/n)/w" ~count:300
+    views_gen
+    (fun specs ->
+      let views = views_of specs in
+      let n = float_of_int (Array.length views) in
+      let cc = Mptcp_repro.Cc.Olia.create () in
+      Array.for_all
+        (fun idx ->
+          let inc = cc.Mptcp_repro.Cc.Types.increase ~views ~idx in
+          inc >= 0.
+          && inc <= ((1. +. (1. /. n)) /. views.(idx).Mptcp_repro.Cc.Types.cwnd) +. 1e-12)
+        (Array.init (Array.length views) Fun.id))
+
+let prop_lia_increase_at_most_reno =
+  (* Eq. 1 takes the min with 1/w_r, so on any subflow with w >= 1 LIA
+     is never more aggressive than a regular TCP flow on that path *)
+  QCheck.Test.make ~name:"lia: increase <= Reno's 1/w on each subflow"
+    ~count:300 views_gen
+    (fun specs ->
+      let views = views_of specs in
+      Array.for_all
+        (fun idx ->
+          Mptcp_repro.Cc.Lia.increase_formula views idx
+          <= (1. /. views.(idx).Mptcp_repro.Cc.Types.cwnd) +. 1e-12)
+        (Array.init (Array.length views) Fun.id))
+
+let prop_cwnd_floor_after_losses =
+  (* after any pattern of random losses the window of every subflow
+     stays at or above 1 MSS; run with the simulator invariants armed so
+     internal consistency checks fire too (saving/restoring the flag) *)
+  QCheck.Test.make ~name:"tcp: cwnd never below 1 MSS under random loss"
+    ~count:25
+    QCheck.(
+      triple (int_range 0 1000) (int_range 0 2) (float_range 0.01 0.25))
+    (fun (seed, algo_ix, loss_prob) ->
+      let was_armed = Invariant.enabled () in
+      Invariant.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Invariant.set_enabled was_armed)
+        (fun () ->
+          let sim = Sim.create () in
+          let rng = Rng.create ~seed in
+          let q =
+            Queue.create ~sim ~rng:(Rng.split rng) ~rate_bps:4e6
+              ~buffer_pkts:30 ~discipline:Queue.Droptail ()
+          in
+          let lossy =
+            Lossy.create ~sim ~rng:(Rng.split rng) ~loss_prob ()
+          in
+          let fwd = Pipe.create ~sim ~delay:0.02 in
+          let rv = Pipe.create ~sim ~delay:0.02 in
+          let cc =
+            match algo_ix with
+            | 0 -> Mptcp_repro.Cc.Reno.create ()
+            | 1 -> Mptcp_repro.Cc.Lia.create ()
+            | _ -> Mptcp_repro.Cc.Olia.create ()
+          in
+          let conn =
+            Tcp.create ~sim ~cc
+              ~paths:
+                [|
+                  {
+                    Tcp.fwd = [| Lossy.hop lossy; Queue.hop q; Pipe.hop fwd |];
+                    rev = [| Pipe.hop rv |];
+                  };
+                |]
+              ~flow_id:0 ()
+          in
+          Sim.run_until sim 20.;
+          Lossy.dropped lossy > 0 && Tcp.subflow_cwnd conn 0 >= 1.))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -331,6 +412,9 @@ let suite =
       prop_finite_flows_complete_exactly;
       prop_mptcp_split_sums_to_size;
       prop_olia_alpha_magnitude_bound;
+      prop_olia_increase_bounded;
+      prop_lia_increase_at_most_reno;
+      prop_cwnd_floor_after_losses;
       prop_coupled_increase_monotone_in_eps_at_large_w;
       prop_balia_positive;
       prop_scenario_a_type2_never_gains;

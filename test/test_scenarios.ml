@@ -145,7 +145,7 @@ let test_two_bottleneck_lia_has_no_alpha () =
       { S.Two_bottleneck.symmetric with duration = 10.; algo = "lia"; seed = 14 }
   in
   Array.iter
-    (fun (_, a) -> Alcotest.(check (float 0.)) "alpha zero" 0. a)
+    (fun (_, a) -> Test_common.close "alpha zero" 0. a)
     (Mptcp_repro.Stats.Timeseries.to_array t.alpha1)
 
 let test_fattree_static_mptcp_beats_tcp () =
@@ -236,8 +236,8 @@ let test_determinism_same_seed_same_result () =
     { S.Scen_c.default with duration = 20.; warmup = 5.; algo = "olia"; seed = 42 }
   in
   let a = S.Scen_c.run cfg and b = S.Scen_c.run cfg in
-  Alcotest.(check (float 0.)) "bit-identical" a.norm_single b.norm_single;
-  Alcotest.(check (float 0.)) "loss identical" a.p2 b.p2
+  Test_common.close "bit-identical" a.norm_single b.norm_single;
+  Test_common.close "loss identical" a.p2 b.p2
 
 let suite =
   [
