@@ -4,6 +4,7 @@
      list                                   registered scenarios and params
      run <scenario> [-p k=v]...             any registry scenario, one point
      sweep <scenario> [-x k=axis]...        multicore parameter sweep
+     report <trace.jsonl>                   flight-recorder trace analysis
      scenario-a | scenario-b | scenario-c   testbed scenarios (paper §III/VI)
      trace                                  two-bottleneck window traces
      fattree                                static FatTree experiment
@@ -105,20 +106,74 @@ let trace_opt =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let run_generic name params out trace =
+let report_opt =
+  let doc =
+    "Analyze the run's event stream inline and write the deterministic \
+     JSON report (queue latency percentiles, drop bursts, per-subflow \
+     RTT/cwnd/state summaries) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let format_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let format_opt =
+  let doc = "Report rendering on stdout: $(b,text) tables or $(b,json)." in
+  Arg.(value & opt format_conv `Text & info [ "format" ] ~docv:"FMT" ~doc)
+
+let profile_opt =
+  let doc =
+    "Profile the event loop: per-source dispatch counts and wall time, \
+     printed after the run (wall times are non-deterministic and never \
+     enter the report JSON)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+module Obs = Mptcp_repro.Obs
+
+(* Arm the trace sink for the duration of [f]: a JSONL writer, a live
+   report accumulator, or a tee into both. *)
+let with_obs_sinks ~trace ~report f =
+  let acc = if report then Some (Obs.Report.create ()) else None in
+  match (trace, acc) with
+  | None, None -> (None, f ())
+  | Some path, None ->
+    let r = Obs.Trace.with_jsonl ~path f in
+    (None, r)
+  | _ ->
+    let oc = Option.map open_out trace in
+    let sink ev =
+      Option.iter
+        (fun oc ->
+          output_string oc
+            (Mptcp_repro.Stats.Json.to_string (Obs.Trace.to_json ev));
+          output_char oc '\n')
+        oc;
+      Option.iter (fun a -> Obs.Report.feed a ev) acc
+    in
+    Obs.Trace.set_sink (Some sink);
+    let r =
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.set_sink None;
+          Option.iter close_out oc)
+        f
+    in
+    (acc, r)
+
+let run_generic name params out trace report format profile =
   try
     let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
     let bindings = List.map (E.Spec.parse_assign Sc.spec) params in
-    let outcome =
-      match trace with
-      | None -> Sc.run bindings
-      | Some path ->
-        let outcome =
-          Mptcp_repro.Obs.Trace.with_jsonl ~path (fun () -> Sc.run bindings)
-        in
-        Printf.printf "wrote trace %s\n" path;
-        outcome
+    if profile then begin
+      Obs.Profile.reset ();
+      Obs.Profile.set_enabled true
+    end;
+    let acc, outcome =
+      with_obs_sinks ~trace ~report:(Option.is_some report) (fun () ->
+          Sc.run bindings)
     in
+    if profile then Obs.Profile.set_enabled false;
+    Option.iter (fun path -> Printf.printf "wrote trace %s\n" path) trace;
     Printf.printf "%s:\n" name;
     print_outcome outcome;
     Option.iter
@@ -136,6 +191,22 @@ let run_generic name params out trace =
                ]);
         Printf.printf "wrote %s\n" path)
       out;
+    Option.iter
+      (fun acc ->
+        (match format with
+        | `Text -> print_string (Obs.Report.to_text acc)
+        | `Json ->
+          print_endline
+            (Mptcp_repro.Stats.Json.to_string (Obs.Report.to_json acc)));
+        Option.iter
+          (fun path ->
+            Mptcp_repro.Stats.Json.write ~path (Obs.Report.to_json acc);
+            Printf.printf "wrote report %s\n" path)
+          report)
+      acc;
+    if profile then
+      Mptcp_repro.Stats.Table.print
+        (Obs.Profile.to_table (Obs.Profile.report ()));
     `Ok ()
   with Invalid_argument msg -> `Error (false, msg)
 
@@ -143,7 +214,48 @@ let run_cmd =
   let doc = "Run any registered scenario once, driven by its spec." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      ret (const run_generic $ scenario_pos $ params_opt $ out_opt $ trace_opt))
+      ret
+        (const run_generic $ scenario_pos $ params_opt $ out_opt $ trace_opt
+        $ report_opt $ format_opt $ profile_opt))
+
+(* --- report: offline trace analysis ------------------------------------- *)
+
+let run_report trace_path out format =
+  match Obs.Report.load_jsonl ~path:trace_path with
+  | Error e -> `Error (false, e)
+  | Ok acc ->
+    (match format with
+    | `Text -> print_string (Obs.Report.to_text acc)
+    | `Json ->
+      print_endline
+        (Mptcp_repro.Stats.Json.to_string (Obs.Report.to_json acc)));
+    Option.iter
+      (fun path ->
+        Mptcp_repro.Stats.Json.write ~path (Obs.Report.to_json acc);
+        Printf.printf "wrote %s\n" path)
+      out;
+    `Ok ()
+
+let report_cmd =
+  let trace_pos =
+    let doc = "JSONL trace file recorded with $(b,olia_sim run --trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let doc =
+    "Analyze a recorded trace: queue-residence latency percentiles \
+     (p50/p90/p99), drop causes and bursts, per-subflow RTT distributions, \
+     cwnd timelines and TCP state dwell times."
+  in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "olia_sim run scenario-b --trace t.jsonl";
+      `P "olia_sim report t.jsonl";
+      `P "olia_sim report t.jsonl --format json --out report.json";
+    ]
+  in
+  Cmd.v (Cmd.info "report" ~doc ~man)
+    Term.(ret (const run_report $ trace_pos $ out_opt $ format_opt))
 
 let axes_opt =
   let doc =
@@ -575,6 +687,26 @@ let run_check only out update_golden golden_dir =
         | Ok () -> Printf.printf "PASS golden/%s\n" n
         | Error e -> Printf.printf "FAIL golden/%s\n  %s\n" n e)
       golden;
+    let report_names =
+      List.filter
+        (fun n ->
+          match only with
+          | None -> true
+          | Some s -> has_sub ("golden/" ^ n) s)
+        Ck.Golden.report_names
+    in
+    let reports =
+      List.map
+        (fun n -> (n, Ck.Golden.check_report ~dir:golden_dir n))
+        report_names
+    in
+    List.iter
+      (fun (n, r) ->
+        match r with
+        | Ok () -> Printf.printf "PASS golden/%s\n" n
+        | Error e -> Printf.printf "FAIL golden/%s\n  %s\n" n e)
+      reports;
+    let golden = golden @ reports in
     let golden_pass = List.for_all (fun (_, r) -> Result.is_ok r) golden in
     let json =
       let golden_json =
@@ -638,7 +770,8 @@ let () =
     (Cmd.eval
        (Cmd.group info ~default
           [
-            list_cmd; run_cmd; sweep_cmd; scenario_a_cmd; scenario_b_cmd;
-            scenario_c_cmd; trace_cmd; fattree_cmd; fattree_dynamic_cmd;
-            responsiveness_cmd; wireless_cmd; fluid_cmd; check_cmd;
+            list_cmd; run_cmd; sweep_cmd; report_cmd; scenario_a_cmd;
+            scenario_b_cmd; scenario_c_cmd; trace_cmd; fattree_cmd;
+            fattree_dynamic_cmd; responsiveness_cmd; wireless_cmd; fluid_cmd;
+            check_cmd;
           ]))

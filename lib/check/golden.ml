@@ -115,6 +115,7 @@ let canon : Trace.event -> Trace.event = function
   | Trace.Tcp_state r -> Trace.Tcp_state { r with time = 0. }
   | Trace.Cwnd_update r -> Trace.Cwnd_update { r with time = 0. }
   | Trace.Rto_fired r -> Trace.Rto_fired { r with time = 0. }
+  | Trace.Rtt_sample r -> Trace.Rtt_sample { r with time = 0. }
   | Trace.Subflow_add r -> Trace.Subflow_add { r with time = 0. }
   | Trace.Subflow_remove r -> Trace.Subflow_remove { r with time = 0. }
 
@@ -132,7 +133,6 @@ let update ~dir name =
           output_char oc '\n')
         events)
 
-let update_all ~dir = List.iter (fun (n, _) -> update ~dir n) scenarios
 
 let load ~dir name =
   let file = path ~dir name in
@@ -190,3 +190,86 @@ let check ~dir name =
   match load ~dir name with
   | Error _ as e -> e
   | Ok want -> compare_events ~name ~want ~got:(record name)
+
+(* --- golden reports --------------------------------------------------- *)
+
+(* One canonical flight-recorder report: a small fixed-seed Scenario B
+   run analyzed with Obs.Report. Unlike the traces above, the report
+   keeps its timestamps — the document is a pure function of the seed,
+   so it is byte-reproducible and CI can regenerate it from the CLI:
+
+     olia_sim run scenario-b -p n=4 -p cx=8 -p ct=10 \
+       -p duration=8 -p warmup=2 --report report_ci.json *)
+
+let report_scen_b_config =
+  {
+    Repro_scenarios.Scen_b.default with
+    n = 4;
+    cx_mbps = 8.;
+    ct_mbps = 10.;
+    duration = 8.;
+    warmup = 2.;
+  }
+
+let report_scen_b () =
+  let acc = Repro_obs.Report.create () in
+  Trace.set_sink (Some (Repro_obs.Report.feed acc));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () -> ignore (Repro_scenarios.Scen_b.run report_scen_b_config));
+  Repro_obs.Report.to_json acc
+
+let report_scenarios = [ ("report-scen-b", report_scen_b) ]
+let report_names = List.map fst report_scenarios
+
+let record_report name =
+  match List.assoc_opt name report_scenarios with
+  | Some f -> f ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Golden.record_report: unknown report %S (have: %s)"
+           name
+           (String.concat ", " report_names))
+
+let report_path ~dir name = Filename.concat dir (name ^ ".json")
+
+let update_report ~dir name =
+  Json.write ~path:(report_path ~dir name) (record_report name)
+
+(* Semantic comparison: both sides are parsed and re-serialized through
+   the Json printer, so formatting differences (whitespace, a hand-
+   edited golden file) don't register — only value changes do. The
+   error pinpoints the first diverging byte of the canonical forms. *)
+let compare_json ~name ~want ~got =
+  let w = Json.to_string want and g = Json.to_string got in
+  if w = g then Ok ()
+  else begin
+    let n = Stdlib.min (String.length w) (String.length g) in
+    let i = ref 0 in
+    while !i < n && w.[!i] = g.[!i] do incr i done;
+    let ctx s =
+      let from = Stdlib.max 0 (!i - 30) in
+      let len = Stdlib.min 60 (String.length s - from) in
+      String.sub s from len
+    in
+    Error
+      (Printf.sprintf
+         "%s: report diverges from golden at byte %d:\n  golden: …%s…\n  \
+          got:    …%s…"
+         name !i (ctx w) (ctx g))
+  end
+
+let check_report ~dir name =
+  let file = report_path ~dir name in
+  if not (Sys.file_exists file) then
+    Error
+      (Printf.sprintf "golden report %s missing (run with --update-golden)"
+         file)
+  else
+    match Json.of_string (In_channel.with_open_text file In_channel.input_all) with
+    | Error e -> Error (Printf.sprintf "%s: bad JSON: %s" file e)
+    | Ok want -> compare_json ~name ~want ~got:(record_report name)
+
+let update_all ~dir =
+  List.iter (fun (n, _) -> update ~dir n) scenarios;
+  List.iter (fun (n, _) -> update_report ~dir n) report_scenarios

@@ -27,3 +27,28 @@ val check : dir:string -> string -> (unit, string) result
 (** Re-run the scenario and compare against the golden file. The error
     carries a first-divergence diagnostic (event index, golden vs got,
     both with timestamps zeroed). *)
+
+(** {2 Golden reports}
+
+    A canonical flight-recorder document: a small fixed-seed Scenario B
+    run analyzed with {!Repro_obs.Report} and pinned as JSON under
+    [test/golden/]. Timestamps are kept — the report is a pure function
+    of the seed — and the comparison is semantic: both sides are parsed
+    and re-serialized, so only value changes register. *)
+
+val report_names : string list
+(** The canonical report names (also the golden file basenames,
+    [<name>.json]). *)
+
+val record_report : string -> Repro_stats.Json.t
+(** Run the canonical scenario with a report-feeding sink and return the
+    report document. Raises [Invalid_argument] on an unknown name; same
+    process-global sink caveat as {!record}. *)
+
+val update_report : dir:string -> string -> unit
+(** Re-record one golden report ([<dir>/<name>.json]). *)
+
+val check_report : dir:string -> string -> (unit, string) result
+(** Re-run and compare semantically against the golden report; the error
+    pinpoints the first diverging byte of the canonical forms.
+    [update_all] refreshes golden reports along with golden traces. *)

@@ -82,6 +82,8 @@ module Obs = struct
   module Trace = Repro_obs.Trace
   module Meter = Repro_obs.Meter
   module Snapshot = Repro_obs.Snapshot
+  module Report = Repro_obs.Report
+  module Profile = Repro_obs.Profile
 end
 
 module Check = struct

@@ -92,6 +92,14 @@ let run_seq (module Sc : Scenario_intf.S) pts =
   List.map (fun bindings -> { bindings; outcome = Sc.run bindings }) pts
 
 let run ?domains (module Sc : Scenario_intf.S) pts_list =
+  (* The trace sink is process-global, so a traced multi-domain sweep
+     would interleave events from unrelated runs into one stream.
+     Refuse up front rather than produce a garbage trace. *)
+  if Repro_obs.Trace.enabled () then
+    invalid_arg
+      "Sweep.run: tracing is armed but the trace sink is process-global; \
+       disarm tracing (or unset OLIA_TRACE) before running a sweep, and \
+       trace a single `olia_sim run` instead";
   let pts = Array.of_list pts_list in
   let n = Array.length pts in
   let requested =

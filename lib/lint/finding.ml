@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse | Suppress
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Parse | Suppress
 
 let rule_name = function
   | R1 -> "R1"
@@ -7,6 +7,7 @@ let rule_name = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
   | Parse -> "parse"
   | Suppress -> "suppress"
 
@@ -17,6 +18,7 @@ let rule_of_name = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
   | _ -> None
 
 let rule_doc = function
@@ -38,6 +40,9 @@ let rule_doc = function
   | R6 ->
     "error hygiene: ignore of a result value silently discards the Error \
      case (match on it or propagate it)"
+  | R7 ->
+    "seed plumbing: lib/scenarios must thread the RNG seed from the \
+     caller's config, never hard-code or default it"
   | Parse -> "the file must parse before any rule can run"
   | Suppress -> "suppression directives need valid rule ids and a reason"
 
@@ -48,8 +53,9 @@ let rule_index = function
   | R4 -> 4
   | R5 -> 5
   | R6 -> 6
-  | Parse -> 7
-  | Suppress -> 8
+  | R7 -> 7
+  | Parse -> 8
+  | Suppress -> 9
 
 type t = {
   rule : rule;

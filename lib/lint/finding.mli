@@ -11,14 +11,15 @@ type rule =
   | R4  (** output hygiene: stdout printing from [lib/] *)
   | R5  (** registry completeness: scenario unreachable from the registry *)
   | R6  (** error hygiene: [ignore] of a [result] value *)
+  | R7  (** seed plumbing: hard-coded or defaulted RNG seed in scenarios *)
   | Parse  (** the file does not parse; nothing else was checked *)
   | Suppress  (** malformed suppression directive *)
 
 val rule_name : rule -> string
-(** ["R1"] ... ["R6"], ["parse"], ["suppress"]. *)
+(** ["R1"] ... ["R7"], ["parse"], ["suppress"]. *)
 
 val rule_of_name : string -> rule option
-(** Inverse of {!rule_name} for the suppressible rules R1-R6 only:
+(** Inverse of {!rule_name} for the suppressible rules R1-R7 only:
     [Parse] and [Suppress] findings cannot be waived. *)
 
 val rule_doc : rule -> string

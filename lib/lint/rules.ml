@@ -37,6 +37,7 @@ let scope_r3 path =
 
 let scope_r4 path = under [ "lib" ] path
 let scope_r6 _ = true
+let scope_r7 path = under [ "lib"; "scenarios" ] path
 
 (* --- longident helpers ----------------------------------------------- *)
 
@@ -372,6 +373,60 @@ let check_r6 ~path structure =
   it.structure it structure;
   !found
 
+(* --- R7: seed plumbing ----------------------------------------------- *)
+
+(* A scenario that seeds its RNG from a literal, or defaults an optional
+   [?seed] argument, produces one fixed run however the sweep varies the
+   seed axis — replications silently collapse to n identical points.
+   Scenario code must take the seed from its config record and pass it
+   down: [Rng.create ~seed:cfg.seed]. Syntactic, like R3/R6: a literal
+   seed expression is the evidence; computed seeds are assumed to come
+   from the caller. *)
+
+let is_rng_create name =
+  name = "Rng.create" || name = "Netsim.Rng.create"
+  || name = "Repro_netsim.Rng.create"
+
+let rec is_literal_seed e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("+" | "-" | "*"); _ };
+          _ },
+        args ) ->
+    List.for_all (fun (_, a) -> is_literal_seed a) args
+  | Pexp_constraint (e, _) -> is_literal_seed e
+  | _ -> false
+
+let check_r7 ~path structure =
+  let found = ref [] in
+  let emit loc msg = found := finding ~rule:Finding.R7 ~path loc msg :: !found in
+  let expr self e =
+    (match e.pexp_desc with
+     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+       when is_rng_create (canonical (lid_name txt)) ->
+       List.iter
+         (fun (label, arg) ->
+           match label with
+           | Asttypes.Labelled "seed" when is_literal_seed arg ->
+             emit loc
+               "Rng.create with a literal seed: every replication of this \
+                scenario replays the same run (thread the seed from the \
+                caller's config: ~seed:cfg.seed)"
+           | _ -> ())
+         args
+     | Pexp_fun (Asttypes.Optional "seed", Some _, _, _) ->
+       emit e.pexp_loc
+         "optional ?seed with a default: callers that forget to pass it get \
+          one fixed run per sweep point (make the seed a required part of \
+          the scenario config)"
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it structure;
+  !found
+
 (* --- R5: registry completeness --------------------------------------- *)
 
 let basename path =
@@ -496,4 +551,5 @@ let check_structure ~path structure =
   let r3 = if scope_r3 path then check_r3 ~path structure else [] in
   let r4 = if scope_r4 path then check_r4 ~path structure else [] in
   let r6 = if scope_r6 path then check_r6 ~path structure else [] in
-  r1 @ r2 @ r3 @ r4 @ r6
+  let r7 = if scope_r7 path then check_r7 ~path structure else [] in
+  r1 @ r2 @ r3 @ r4 @ r6 @ r7

@@ -1,4 +1,4 @@
-(** The rule catalogue R1-R6.
+(** The rule catalogue R1-R7.
 
     Rules are purely syntactic (no typing pass), so each one errs on
     the side of precision over recall; docs/LINT.md records the
@@ -21,8 +21,12 @@ val scope_r6 : string -> bool
 (** Everywhere: discarding an [Error] is equally wrong in binaries,
     benches and tests. *)
 
+val scope_r7 : string -> bool
+(** [lib/scenarios/] only: tests, benches and the golden-trace
+    fixtures legitimately pin literal seeds. *)
+
 val check_structure : path:string -> Parsetree.structure -> Finding.t list
-(** Run R1-R4 and R6 (as scoped for [path]) over one parsed
+(** Run R1-R4, R6 and R7 (as scoped for [path]) over one parsed
     implementation. *)
 
 val check_registry :

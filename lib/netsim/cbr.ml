@@ -21,10 +21,10 @@ let create ~sim ~rate_bps ~route ?(start = 0.) ?(stop = infinity) ~flow_id () =
       in
       t.sent <- t.sent + 1;
       Packet.forward p;
-      Sim.schedule_after sim t.interval tick
+      Sim.schedule_after ~src:"cbr.tick" sim t.interval tick
     end
   in
-  Sim.schedule_at sim start tick;
+  Sim.schedule_at ~src:"cbr.tick" sim start tick;
   t
 
 let packets_sent t = t.sent

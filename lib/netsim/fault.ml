@@ -81,14 +81,16 @@ let hop t (p : Packet.t) =
   | Reorder { prob; extra_delay } ->
     if Rng.float t.rng < prob then begin
       t.reordered <- t.reordered + 1;
-      Sim.schedule_after t.sim extra_delay (fun () -> Packet.forward p)
+      Sim.schedule_after ~src:"fault.reorder" t.sim extra_delay (fun () ->
+          Packet.forward p)
     end
     else begin
       t.passed <- t.passed + 1;
       Packet.forward p
     end
 
-let schedule_mode t ~at mode = Sim.schedule_at t.sim at (fun () -> set_mode t mode)
+let schedule_mode t ~at mode =
+  Sim.schedule_at ~src:"fault.mode" t.sim at (fun () -> set_mode t mode)
 
 let schedule_flap t ~down_at ~up_at =
   if up_at <= down_at then invalid_arg "Fault.schedule_flap: up_at <= down_at";

@@ -19,9 +19,9 @@ let create ~sim ~period ?(start = 0.) ?(stop = infinity) () =
       (List.rev t.probes);
     (* keep sampling as long as other events may still be scheduled *)
     if now +. period <= stop && Sim.pending sim > 0 then
-      Sim.schedule_after sim period tick
+      Sim.schedule_after ~src:"monitor.sample" sim period tick
   in
-  Sim.schedule_at sim start tick;
+  Sim.schedule_at ~src:"monitor.sample" sim start tick;
   t
 
 let series t name = Hashtbl.find t.table name

@@ -9,6 +9,7 @@ type t = {
   mutable hop : int;
   route : hop array;
   mutable sent_at : float;
+  mutable enqueued_at : float;
 }
 
 and hop = t -> unit
@@ -19,11 +20,11 @@ let kind_name p = match p.kind with Data -> "data" | Ack _ -> "ack"
 
 let data ~flow ~subflow ~seq ~sent_at ~route =
   { kind = Data; seq; size_bytes = data_size; flow; subflow; hop = 0;
-    route; sent_at }
+    route; sent_at; enqueued_at = sent_at }
 
 let ack ~flow ~subflow ~ackno ~echo ~sack ~route ~sent_at =
   { kind = Ack { ackno; echo; sack }; seq = 0; size_bytes = ack_size; flow;
-    subflow; hop = 0; route; sent_at }
+    subflow; hop = 0; route; sent_at; enqueued_at = sent_at }
 
 let forward p =
   if Invariant.enabled () then

@@ -21,6 +21,10 @@ type t = {
   mutable hop : int;  (** index of the next hop to visit *)
   route : hop array;
   mutable sent_at : float;  (** departure time from the sender *)
+  mutable enqueued_at : float;
+      (** admission time at the queue currently holding the packet,
+          re-stamped at every queue hop; [sent_at] until first queued.
+          Queue-residence spans ([Pkt_forward.qdelay]) derive from it. *)
 }
 
 and hop = t -> unit

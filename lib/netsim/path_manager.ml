@@ -90,12 +90,12 @@ let attach ~sim ~policy conn =
   in
   let rec tick () =
     check t;
-    Sim.schedule_after sim policy.check_period tick
+    Sim.schedule_after ~src:"path_manager.check" sim policy.check_period tick
   in
   (* baseline the counters so the first period excludes history from
      before the manager was attached *)
   snapshot t;
-  Sim.schedule_after sim policy.check_period tick;
+  Sim.schedule_after ~src:"path_manager.check" sim policy.check_period tick;
   t
 
 let discards t = t.discards

@@ -5,6 +5,7 @@ let create ~sim ~delay =
   { sim; delay }
 
 let hop t (p : Packet.t) =
-  Sim.schedule_after t.sim t.delay (fun () -> Packet.forward p)
+  Sim.schedule_after ~src:"pipe.deliver" t.sim t.delay (fun () ->
+      Packet.forward p)
 
 let delay t = t.delay

@@ -118,7 +118,7 @@ let rec serve t =
   | Some p ->
     t.busy <- true;
     t.dbg_service_data <- is_data p;
-    Sim.schedule_after t.sim (service_time t p) (fun () ->
+    Sim.schedule_after ~src:"queue.serve" t.sim (service_time t p) (fun () ->
         t.backlog <- t.backlog - 1;
         t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
         if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
@@ -134,6 +134,7 @@ let rec serve t =
                  seq = p.seq;
                  kind = Packet.kind_name p;
                  bytes = p.size_bytes;
+                 qdelay = Sim.now t.sim -. p.enqueued_at;
                });
         Packet.forward p;
         serve t;
@@ -219,6 +220,7 @@ let enqueue t (p : Packet.t) =
            })
   end
   else begin
+    p.enqueued_at <- Sim.now t.sim;
     Stdlib.Queue.add p t.fifo;
     t.backlog <- t.backlog + 1;
     if Trace.enabled () then

@@ -76,8 +76,16 @@ let grow t =
   t.seqs <- seqs;
   t.fns <- fns
 
-let schedule_at t time fn =
+let schedule_at ?(src = "other") t time fn =
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  (* Profiling wraps at scheduling time, not in the dispatch loop, so
+     the heap stays three parallel arrays and the profiling-off cost is
+     this one ref read. *)
+  let fn =
+    if Repro_obs.Profile.enabled () then fun () ->
+      Repro_obs.Profile.dispatch ~src fn
+    else fn
+  in
   if t.len = Array.length t.times then grow t;
   let i = t.len in
   t.times.(i) <- time;
@@ -88,7 +96,7 @@ let schedule_at t time fn =
   if t.len > t.max_depth then t.max_depth <- t.len;
   sift_up t i
 
-let schedule_after t delay fn = schedule_at t (t.clock +. delay) fn
+let schedule_after ?src t delay fn = schedule_at ?src t (t.clock +. delay) fn
 
 let pop t =
   let fn = t.fns.(0) and time = t.times.(0) in

@@ -10,11 +10,15 @@ val create : unit -> t
 val now : t -> float
 (** Current simulated time, seconds. *)
 
-val schedule_at : t -> float -> (unit -> unit) -> unit
+val schedule_at : ?src:string -> t -> float -> (unit -> unit) -> unit
 (** [schedule_at t time fn] runs [fn] when the clock reaches [time].
-    Raises [Invalid_argument] if [time] is in the past. *)
+    Raises [Invalid_argument] if [time] is in the past. [src] labels
+    the event source for [Repro_obs.Profile] attribution (default
+    ["other"]); when profiling is armed at scheduling time the
+    callback is wrapped to account its dispatch count and wall time,
+    otherwise the label costs nothing. *)
 
-val schedule_after : t -> float -> (unit -> unit) -> unit
+val schedule_after : ?src:string -> t -> float -> (unit -> unit) -> unit
 (** [schedule_after t delay fn] = [schedule_at t (now t +. delay) fn]. *)
 
 val run_until : t -> float -> unit

@@ -157,11 +157,11 @@ and ensure_rto sub =
         if now +. 1e-12 >= sub.rto_deadline then on_timeout sub
         else begin
           sub.rto_armed <- true;
-          Sim.schedule_at sub.conn.sim sub.rto_deadline fire
+          Sim.schedule_at ~src:"tcp.rto" sub.conn.sim sub.rto_deadline fire
         end
       end
     in
-    Sim.schedule_at sub.conn.sim sub.rto_deadline fire
+    Sim.schedule_at ~src:"tcp.rto" sub.conn.sim sub.rto_deadline fire
   end
 
 and on_timeout sub =
@@ -258,7 +258,17 @@ let sample_rtt sub echo =
     let rttvar = Stdlib.max sub.rttvar (sub.conn.min_rto /. 4.) in
     sub.rto <-
       Stdlib.min 60.
-        (Stdlib.max (sub.srtt +. (4. *. rttvar)) sub.conn.min_rto)
+        (Stdlib.max (sub.srtt +. (4. *. rttvar)) sub.conn.min_rto);
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Rtt_sample
+           {
+             time = Sim.now sub.conn.sim;
+             flow = sub.conn.flow_id;
+             subflow = sub.idx;
+             rtt;
+             srtt = sub.srtt;
+           })
   end
 
 let check_completion conn =
@@ -424,7 +434,7 @@ let send_ack sub ~echo ~sack =
 let arm_delack_timer sub =
   if not sub.delack_timer then begin
     sub.delack_timer <- true;
-    Sim.schedule_after sub.conn.sim 0.1 (fun () ->
+    Sim.schedule_after ~src:"tcp.delack" sub.conn.sim 0.1 (fun () ->
         sub.delack_timer <- false;
         if sub.delack_count > 0 then
           send_ack sub ~echo:sub.delack_echo ~sack:None)
@@ -528,7 +538,7 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
   Array.iteri
     (fun idx sub ->
       let at = if idx = 0 then start else start +. subflow_join_delay in
-      Sim.schedule_at sim at (fun () ->
+      Sim.schedule_at ~src:"tcp.start" sim at (fun () ->
           if Trace.enabled () then
             Trace.emit
               (Trace.Subflow_add

@@ -1,0 +1,36 @@
+(** Event-loop profiler: dispatch counts and wall time per event source.
+
+    Same guard discipline as {!Trace}: {!enabled} is one ref read, and
+    [Sim.schedule_at] only wraps a callback in {!dispatch} when the
+    profiler was armed at scheduling time, so the profiling-off path
+    costs one ref read per schedule and nothing per dispatch.
+
+    Sources are the [~src] labels scheduling sites pass (e.g.
+    ["queue.serve"], ["tcp.rto"]); unlabelled sites pool under
+    ["other"]. Wall times are non-deterministic by nature, so profile
+    output never feeds the deterministic report JSON — the CLI renders
+    it separately ([olia_sim run --profile]), and [OLIA_PROFILE=1]
+    arms the profiler at startup and dumps the table to stderr at
+    exit. The accumulator is process-global; profile single-domain
+    runs only. *)
+
+val enabled : unit -> bool
+(** One ref read; the scheduler checks it at scheduling time. *)
+
+val set_enabled : bool -> unit
+(** Arm or disarm the profiler (accumulated totals are kept). *)
+
+val reset : unit -> unit
+(** Drop all accumulated totals. *)
+
+val dispatch : src:string -> (unit -> unit) -> unit
+(** Run the callback, attributing one dispatch and its wall time to
+    [src]. Nested dispatches each account their own full span. *)
+
+type entry = { src : string; count : int; wall_s : float }
+
+val report : unit -> entry list
+(** Accumulated totals, hottest first (ties alphabetical). *)
+
+val to_table : entry list -> Repro_stats.Table.t
+(** Text rendering with per-source dispatches, wall ms and wall %. *)

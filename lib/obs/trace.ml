@@ -41,6 +41,7 @@ type event =
       seq : int;
       kind : string;
       bytes : int;
+      qdelay : float;
     }
   | Tcp_state of {
       time : float;
@@ -57,6 +58,13 @@ type event =
       ssthresh : float;
     }
   | Rto_fired of { time : float; flow : int; subflow : int; rto : float }
+  | Rtt_sample of {
+      time : float;
+      flow : int;
+      subflow : int;
+      rtt : float;
+      srtt : float;
+    }
   | Subflow_add of { time : float; flow : int; subflow : int }
   | Subflow_remove of { time : float; flow : int; subflow : int }
 
@@ -104,13 +112,14 @@ let to_json = function
         ("kind", Json.String kind);
         ("cause", Json.String (cause_name cause));
       ]
-  | Pkt_forward { time; queue; flow; subflow; seq; kind; bytes } ->
+  | Pkt_forward { time; queue; flow; subflow; seq; kind; bytes; qdelay } ->
     Json.Obj
       [
         ("ev", Json.String "pkt_forward"); ("t", Json.Float time);
         ("queue", Json.String queue); ("flow", Json.Int flow);
         ("subflow", Json.Int subflow); ("seq", Json.Int seq);
         ("kind", Json.String kind); ("bytes", Json.Int bytes);
+        ("qdelay", Json.Float qdelay);
       ]
   | Tcp_state { time; flow; subflow; from_state; to_state } ->
     Json.Obj
@@ -133,6 +142,13 @@ let to_json = function
         ("ev", Json.String "rto_fired"); ("t", Json.Float time);
         ("flow", Json.Int flow); ("subflow", Json.Int subflow);
         ("rto", Json.Float rto);
+      ]
+  | Rtt_sample { time; flow; subflow; rtt; srtt } ->
+    Json.Obj
+      [
+        ("ev", Json.String "rtt_sample"); ("t", Json.Float time);
+        ("flow", Json.Int flow); ("subflow", Json.Int subflow);
+        ("rtt", Json.Float rtt); ("srtt", Json.Float srtt);
       ]
   | Subflow_add { time; flow; subflow } ->
     Json.Obj
@@ -222,7 +238,8 @@ let of_json json =
       let* seq = intf fields "seq" in
       let* kind = stringf fields "kind" in
       let* bytes = intf fields "bytes" in
-      Ok (Pkt_forward { time; queue; flow; subflow; seq; kind; bytes })
+      let* qdelay = floatf fields "qdelay" in
+      Ok (Pkt_forward { time; queue; flow; subflow; seq; kind; bytes; qdelay })
     | "tcp_state" ->
       let* time = floatf fields "t" in
       let* flow = intf fields "flow" in
@@ -243,6 +260,13 @@ let of_json json =
       let* subflow = intf fields "subflow" in
       let* rto = floatf fields "rto" in
       Ok (Rto_fired { time; flow; subflow; rto })
+    | "rtt_sample" ->
+      let* time = floatf fields "t" in
+      let* flow = intf fields "flow" in
+      let* subflow = intf fields "subflow" in
+      let* rtt = floatf fields "rtt" in
+      let* srtt = floatf fields "srtt" in
+      Ok (Rtt_sample { time; flow; subflow; rtt; srtt })
     | "subflow_add" ->
       let* time = floatf fields "t" in
       let* flow = intf fields "flow" in

@@ -46,6 +46,9 @@ type event =
       seq : int;
       kind : string;
       bytes : int;
+      qdelay : float;
+          (** queue residence: seconds between the packet's admission
+              ({!Pkt_enqueue}) and this forward, service included *)
     }
   | Tcp_state of {
       time : float;
@@ -66,6 +69,13 @@ type event =
       flow : int;
       subflow : int;
       rto : float;  (** the RTO that just expired, pre-backoff *)
+    }
+  | Rtt_sample of {
+      time : float;
+      flow : int;
+      subflow : int;
+      rtt : float;  (** the raw sample from the ACK's echoed timestamp *)
+      srtt : float;  (** smoothed estimate after folding the sample in *)
     }
   | Subflow_add of { time : float; flow : int; subflow : int }
   | Subflow_remove of { time : float; flow : int; subflow : int }

@@ -259,6 +259,65 @@ let test_golden_unknown_name () =
        false
      with Invalid_argument _ -> true)
 
+(* --- golden reports ----------------------------------------------------- *)
+
+let test_golden_report_matches () =
+  List.iter
+    (fun name ->
+      match Ck.Golden.check_report ~dir:golden_dir name with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    Ck.Golden.report_names
+
+let test_golden_report_semantic_compare () =
+  (* re-record the golden report into a temp dir; reformatting the file
+     must stay invisible to the comparator (it is semantic), while a
+     value change must be reported *)
+  let dir = Filename.temp_file "golden_report" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let name = List.hd Ck.Golden.report_names in
+  Ck.Golden.update_report ~dir name;
+  let file = Filename.concat dir (name ^ ".json") in
+  let original = In_channel.with_open_text file In_channel.input_all in
+  let write s = Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc s)
+  in
+  write ("\n  " ^ String.trim original ^ "\n\n");
+  (match Ck.Golden.check_report ~dir name with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("reformatting must not register: " ^ e));
+  let needle = {|"enqueued":|} in
+  let i =
+    match String.index_opt original '{' with
+    | None -> Alcotest.fail "report is not an object"
+    | Some _ ->
+      let rec find i =
+        if i + String.length needle > String.length original then
+          Alcotest.fail "report has no enqueued field"
+        else if String.sub original i (String.length needle) = needle then i
+        else find (i + 1)
+      in
+      find 0
+  in
+  let j = i + String.length needle in
+  write (String.sub original 0 j ^ "9" ^
+         String.sub original j (String.length original - j));
+  (match Ck.Golden.check_report ~dir name with
+  | Ok () -> Alcotest.fail "value change must be detected"
+  | Error e ->
+    Alcotest.(check bool) "diagnostic pinpoints the divergence" true
+      (String.length e > 0));
+  Sys.remove file;
+  Unix.rmdir dir
+
+let test_golden_report_unknown_name () =
+  Alcotest.(check bool) "unknown report rejected" true
+    (try
+       ignore (Ck.Golden.record_report "no-such-report");
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "band: around and edges" `Quick test_band_around;
@@ -294,4 +353,10 @@ let suite =
     Alcotest.test_case "golden: divergence detected" `Quick
       test_golden_detects_divergence;
     Alcotest.test_case "golden: unknown name" `Quick test_golden_unknown_name;
+    Alcotest.test_case "golden: report matches" `Slow
+      test_golden_report_matches;
+    Alcotest.test_case "golden: report compare is semantic" `Slow
+      test_golden_report_semantic_compare;
+    Alcotest.test_case "golden: unknown report name" `Quick
+      test_golden_report_unknown_name;
   ]

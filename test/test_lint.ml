@@ -163,6 +163,52 @@ let test_r6_suppressible () =
 let b () = ignore (Ok 3)
 |})
 
+(* --- R7: seed plumbing ---------------------------------------------- *)
+
+let scen_path = "lib/scenarios/fixture.ml"
+
+let test_r7_fires () =
+  let f =
+    lint ~path:scen_path
+      {|
+let run () =
+  let rng = Rng.create ~seed:42 in
+  let rng2 = Repro_netsim.Rng.create ~seed:(1 + 2) in
+  ignore rng; ignore rng2
+|}
+  in
+  check_count "two hard-coded seeds" Finding.R7 2 f
+
+let test_r7_optional_default () =
+  check_count "defaulted ?seed argument" Finding.R7 1
+    (lint ~path:scen_path "let make ?(seed = 1) () = Rng.create ~seed")
+
+let test_r7_threaded_seed_fine () =
+  check_count "seed from the config threads through" Finding.R7 0
+    (lint ~path:scen_path
+       {|
+let run cfg =
+  let rng = Rng.create ~seed:cfg.seed in
+  ignore rng
+
+let make ~seed () = Rng.create ~seed
+|})
+
+let test_r7_scoped_to_scenarios () =
+  let fixture = "let rng = Rng.create ~seed:7" in
+  check_count "tests may pin literal seeds" Finding.R7 0
+    (lint ~path:"test/test_x.ml" fixture);
+  check_count "golden fixtures too" Finding.R7 0
+    (lint ~path:"lib/check/golden.ml" fixture)
+
+let test_r7_suppressible () =
+  check_count "waivable like any rule" Finding.R7 0
+    (lint ~path:scen_path
+       {|
+(* lint: allow R7 -- fixture exercising the waiver *)
+let rng = Rng.create ~seed:7
+|})
+
 (* --- clean code, parse errors --------------------------------------- *)
 
 let test_clean_passes () =
@@ -295,6 +341,14 @@ let suite =
       test_r6_plain_ignore_fine;
     Alcotest.test_case "R6 applies everywhere" `Quick test_r6_everywhere;
     Alcotest.test_case "R6 suppressible" `Quick test_r6_suppressible;
+    Alcotest.test_case "R7 fires on hard-coded seeds" `Quick test_r7_fires;
+    Alcotest.test_case "R7 fires on defaulted ?seed" `Quick
+      test_r7_optional_default;
+    Alcotest.test_case "R7 accepts threaded seeds" `Quick
+      test_r7_threaded_seed_fine;
+    Alcotest.test_case "R7 scoped to lib/scenarios" `Quick
+      test_r7_scoped_to_scenarios;
+    Alcotest.test_case "R7 suppressible" `Quick test_r7_suppressible;
     Alcotest.test_case "clean code produces no findings" `Quick
       test_clean_passes;
     Alcotest.test_case "unparseable file yields one finding" `Quick

@@ -72,6 +72,7 @@ let every_variant =
         seq = 12;
         kind = "data";
         bytes = 1500;
+        qdelay = 0.0375;
       };
     Trace.Tcp_state
       {
@@ -92,6 +93,8 @@ let every_variant =
     Trace.Cwnd_update
       { time = 3.0; flow = 0; subflow = 1; cwnd = 14.5; ssthresh = 7.25 };
     Trace.Rto_fired { time = 4.0; flow = 1; subflow = 1; rto = 1.5 };
+    Trace.Rtt_sample
+      { time = 4.5; flow = 1; subflow = 0; rtt = 0.082; srtt = 0.0795 };
     Trace.Subflow_add { time = 0.0; flow = 5; subflow = 1 };
     Trace.Subflow_remove { time = 9.5; flow = 5; subflow = 1 };
   ]
@@ -376,6 +379,287 @@ let test_regressions_normalize_by_calibration () =
     "real slowdown survives normalization" 1
     (List.length (Snapshot.regressions ~baseline ~current ~tolerance:0.2 ()))
 
+(* --- flight-recorder reports ------------------------------------------ *)
+
+module Report = Repro_obs.Report
+module Profile = Repro_obs.Profile
+
+let member name = function
+  | Json.Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some j -> j
+    | None -> Alcotest.fail ("report is missing field " ^ name))
+  | _ -> Alcotest.fail ("not an object while looking up " ^ name)
+
+let as_int name j =
+  match j with
+  | Json.Int i -> i
+  | _ -> Alcotest.fail (name ^ " is not an int")
+
+let test_report_accumulates () =
+  let acc = Report.create () in
+  let enq seq =
+    Trace.Pkt_enqueue
+      {
+        time = 0.1 *. float_of_int seq;
+        queue = "q";
+        flow = 0;
+        subflow = 0;
+        seq;
+        kind = "data";
+        backlog = 1;
+      }
+  and drop seq cause =
+    Trace.Pkt_drop
+      {
+        time = 0.1 *. float_of_int seq;
+        queue = "q";
+        flow = 0;
+        subflow = 0;
+        seq;
+        kind = "data";
+        cause;
+      }
+  and fwd seq =
+    Trace.Pkt_forward
+      {
+        time = 0.1 *. float_of_int seq;
+        queue = "q";
+        flow = 0;
+        subflow = 0;
+        seq;
+        kind = "data";
+        bytes = 1500;
+        qdelay = 0.01;
+      }
+  in
+  (* a closed run of 3 drops (burst), then a trailing open run of 1 *)
+  List.iter (Report.feed acc)
+    [
+      enq 0;
+      drop 1 Trace.Overflow;
+      drop 2 Trace.Overflow;
+      drop 3 Trace.Red_early;
+      fwd 4;
+      drop 5 Trace.Random_loss;
+      Trace.Rtt_sample { time = 1.0; flow = 1; subflow = 0; rtt = 0.1; srtt = 0.1 };
+      Trace.Rtt_sample { time = 1.1; flow = 1; subflow = 0; rtt = 0.2; srtt = 0.15 };
+      Trace.Rtt_sample { time = 1.2; flow = 1; subflow = 0; rtt = 0.3; srtt = 0.2 };
+    ];
+  let j = Report.to_json acc in
+  Alcotest.(check int)
+    "total events" 9
+    (as_int "total" (member "total" (member "events" j)));
+  let q = member "q" (member "queues" j) in
+  Alcotest.(check int) "enqueued" 1 (as_int "enqueued" (member "enqueued" q));
+  Alcotest.(check int) "forwarded" 1 (as_int "forwarded" (member "forwarded" q));
+  let drops = member "drops" q in
+  Alcotest.(check int) "drops total" 4 (as_int "total" (member "total" drops));
+  Alcotest.(check int)
+    "overflow split" 2
+    (as_int "overflow" (member "overflow" drops));
+  Alcotest.(check int)
+    "red split" 1
+    (as_int "red_early" (member "red_early" drops));
+  let bursts = member "drop_bursts" q in
+  Alcotest.(check int)
+    "one closed burst; the trailing single drop is not one" 1
+    (as_int "bursts" (member "bursts" bursts));
+  Alcotest.(check int)
+    "max run" 3
+    (as_int "max_run" (member "max_run" bursts));
+  Alcotest.(check int)
+    "qdelay sample count" 1
+    (as_int "n" (member "n" (member "qdelay_s" q)));
+  let sub = member "1/0" (member "subflows" j) in
+  Alcotest.(check int)
+    "rtt sample count" 3
+    (as_int "n" (member "n" (member "rtt_s" sub)));
+  (* to_json never mutates: rendering twice is byte-identical, and the
+     open drop run is still extendable afterwards *)
+  Alcotest.(check string)
+    "to_json is pure"
+    (Json.to_string j)
+    (Json.to_string (Report.to_json acc));
+  Report.feed acc (drop 6 Trace.Random_loss);
+  let bursts' = member "drop_bursts" (member "q" (member "queues" (Report.to_json acc))) in
+  Alcotest.(check int)
+    "trailing run grew into a burst" 2
+    (as_int "bursts" (member "bursts" bursts'))
+
+let test_report_jsonl_round_trip () =
+  let path = Filename.temp_file "olia_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iteri
+        (fun i ev ->
+          (* a blank line mid-file must be skipped, not rejected *)
+          if i = 2 then output_string oc "\n";
+          output_string oc (Json.to_string (Trace.to_json ev));
+          output_string oc "\n")
+        every_variant;
+      close_out oc;
+      let direct = Report.create () in
+      List.iter (Report.feed direct) every_variant;
+      match Report.load_jsonl ~path with
+      | Error e -> Alcotest.fail e
+      | Ok loaded ->
+        Alcotest.(check string)
+          "offline replay equals the live accumulator"
+          (Json.to_string (Report.to_json direct))
+          (Json.to_string (Report.to_json loaded)))
+
+let test_report_jsonl_rejects_bad_line () =
+  let path = Filename.temp_file "olia_report" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        (Json.to_string (Trace.to_json (List.hd every_variant)));
+      output_string oc "\nnot json at all\n";
+      close_out oc;
+      match Report.load_jsonl ~path with
+      | Ok _ -> Alcotest.fail "accepted a malformed trace line"
+      | Error e ->
+        let has_sub sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          ("error names the file and line: " ^ e)
+          true
+          (has_sub (path ^ ":2:") e))
+
+(* Two identical runs must render byte-identical report JSON: reports
+   are a pure function of the trace stream, which is a pure function of
+   the seed. *)
+let test_report_deterministic_across_runs () =
+  let render () =
+    let acc = Report.create () in
+    Trace.set_sink (Some (Report.feed acc));
+    Fun.protect
+      ~finally:(fun () -> Trace.set_sink None)
+      (fun () -> ignore (S.Scen_a.run small));
+    Json.to_string (Report.to_json acc)
+  in
+  let first = render () in
+  let second = render () in
+  Alcotest.(check bool) "report JSON is byte-identical" true (first = second);
+  Alcotest.(check bool)
+    "and non-trivial" true
+    (String.length first > 100)
+
+(* --- the sweep guard --------------------------------------------------- *)
+
+(* The trace sink is process-global, so running a multi-domain sweep
+   with tracing armed would interleave events from unrelated points.
+   Sweep.run must refuse, and work again once the sink is gone. *)
+let test_sweep_refuses_armed_tracing () =
+  let (module Sc : S.Registry.SCENARIO) = S.Registry.find "scenario-a" in
+  let pts =
+    [
+      [
+        ("duration", Repro_exp.Spec.Float 2.);
+        ("warmup", Repro_exp.Spec.Float 0.5);
+      ];
+    ]
+  in
+  Trace.set_sink (Some (fun (_ : Trace.event) -> ()));
+  (Fun.protect
+     ~finally:(fun () -> Trace.set_sink None)
+     (fun () ->
+       match Repro_exp.Sweep.run ~domains:2 (module Sc) pts with
+       | _ -> Alcotest.fail "sweep ran with tracing armed"
+       | exception Invalid_argument msg ->
+         Alcotest.(check bool)
+           ("refusal explains itself: " ^ msg)
+           true
+           (String.length msg > 0)));
+  Alcotest.(check bool) "sink released" false (Trace.enabled ());
+  match Repro_exp.Sweep.run ~domains:2 (module Sc) pts with
+  | [ p ] ->
+    Alcotest.(check bool)
+      "untraced sweep runs fine" true
+      (Repro_exp.Outcome.metric p.Repro_exp.Sweep.outcome "obs_events" > 0.)
+  | ps ->
+    Alcotest.fail
+      (Printf.sprintf "expected 1 sweep point, got %d" (List.length ps))
+
+(* --- event-loop profiler ----------------------------------------------- *)
+
+let test_profile_accounting () =
+  Alcotest.(check bool) "tests run unprofiled" false (Profile.enabled ());
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      Profile.dispatch ~src:"a" (fun () -> ());
+      Profile.dispatch ~src:"a" (fun () -> ());
+      Profile.dispatch ~src:"b" (fun () -> ());
+      let entries = Profile.report () in
+      let find src =
+        match List.find_opt (fun e -> e.Profile.src = src) entries with
+        | Some e -> e
+        | None -> Alcotest.fail ("no profile entry for " ^ src)
+      in
+      Alcotest.(check int) "a dispatched twice" 2 (find "a").Profile.count;
+      Alcotest.(check int) "b dispatched once" 1 (find "b").Profile.count;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (e.Profile.src ^ " wall time non-negative")
+            true (e.Profile.wall_s >= 0.))
+        entries;
+      Profile.reset ();
+      Alcotest.(check int) "reset drops totals" 0
+        (List.length (Profile.report ())))
+
+let test_profile_attributes_sim_sources () =
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      let sim = Sim.create () in
+      let rng = Rng.create ~seed:1 in
+      let q =
+        Queue.create ~sim ~rng ~rate_bps:12e6 ~buffer_pkts:5
+          ~discipline:Queue.Droptail ()
+      in
+      let sink (_ : Packet.t) = () in
+      let route = [| Queue.hop q; sink |] in
+      Sim.schedule_at sim 0. (fun () ->
+          for i = 0 to 19 do
+            Packet.forward
+              (Packet.data ~flow:0 ~subflow:0 ~seq:i ~sent_at:0. ~route)
+          done);
+      Sim.run sim;
+      let entries = Profile.report () in
+      (match List.find_opt (fun e -> e.Profile.src = "queue.serve") entries with
+      | None -> Alcotest.fail "no attribution for queue.serve"
+      | Some e ->
+        Alcotest.(check bool) "queue.serve dispatched" true (e.Profile.count > 0));
+      (* the unlabelled schedule above pools under "other" *)
+      (match List.find_opt (fun e -> e.Profile.src = "other") entries with
+      | None -> Alcotest.fail "no attribution for unlabelled sources"
+      | Some e -> Alcotest.(check int) "one unlabelled dispatch" 1 e.Profile.count);
+      let table = Repro_stats.Table.to_string (Profile.to_table entries) in
+      Alcotest.(check bool)
+        "table renders the hot source" true
+        (let sub = "queue.serve" in
+         let n = String.length sub and m = String.length table in
+         let rec go i = i + n <= m && (String.sub table i n = sub || go (i + 1)) in
+         go 0))
+
 let suite =
   [
     Alcotest.test_case "every event variant round-trips JSONL" `Quick
@@ -395,4 +679,18 @@ let suite =
       test_regressions_flag_slowdowns;
     Alcotest.test_case "regression gate normalizes by calibration" `Quick
       test_regressions_normalize_by_calibration;
+    Alcotest.test_case "report accumulates queue and subflow stats" `Quick
+      test_report_accumulates;
+    Alcotest.test_case "report replays JSONL traces offline" `Quick
+      test_report_jsonl_round_trip;
+    Alcotest.test_case "report rejects malformed trace lines" `Quick
+      test_report_jsonl_rejects_bad_line;
+    Alcotest.test_case "report JSON byte-identical across runs" `Quick
+      test_report_deterministic_across_runs;
+    Alcotest.test_case "sweeps refuse to run with tracing armed" `Slow
+      test_sweep_refuses_armed_tracing;
+    Alcotest.test_case "profiler accounts dispatches per source" `Quick
+      test_profile_accounting;
+    Alcotest.test_case "profiler attributes event-loop sources" `Quick
+      test_profile_attributes_sim_sources;
   ]

@@ -139,6 +139,95 @@ let prop_histogram_count_preserved =
       List.iter (Histogram.add h) xs;
       Histogram.count h = List.length xs)
 
+let test_histogram_quantiles_empty () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check bool) "quantile nan" true
+    (Float.is_nan (Histogram.quantile h 0.5));
+  Alcotest.(check bool) "percentile nan" true
+    (Float.is_nan (Histogram.percentile h 99.));
+  Alcotest.(check bool) "cdf_at nan" true
+    (Float.is_nan (Histogram.cdf_at h 0.5))
+
+let test_histogram_single_sample () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Histogram.add h 3.5;
+  (* with one observation every quantile lands inside its bin [3, 4) *)
+  List.iter
+    (fun q ->
+      let v = Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f inside the occupied bin" q)
+        true
+        (v >= 3. && v <= 4.))
+    [ 0.01; 0.5; 0.99; 1.0 ];
+  check_float "percentile is quantile/100"
+    (Histogram.quantile h 0.5)
+    (Histogram.percentile h 50.)
+
+let test_histogram_quantile_edge_bins () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  (* out-of-range observations saturate into the edge bins *)
+  Histogram.add h (-5.);
+  Histogram.add h 99.;
+  let q0 = Histogram.quantile h 0.25 in
+  Alcotest.(check bool) "low quantile stays in the first bin" true
+    (q0 >= 0. && q0 <= 0.25);
+  check_float "q=1 reaches hi" 1. (Histogram.quantile h 1.0);
+  check_float "cdf saturates above hi" 1. (Histogram.cdf_at h 2.);
+  check_float "cdf is zero below lo" 0. (Histogram.cdf_at h (-1.))
+
+let test_histogram_cdf_at_interpolates () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  for i = 0 to 9 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  check_float "cdf at lo" 0. (Histogram.cdf_at h 0.);
+  check_close 1e-9 "cdf midway" 0.5 (Histogram.cdf_at h 5.);
+  check_close 1e-9 "interpolated inside a bin" 0.55 (Histogram.cdf_at h 5.5);
+  check_float "cdf at hi" 1. (Histogram.cdf_at h 10.);
+  (* quantile is the inverse view of cdf_at *)
+  check_close 1e-9 "quantile inverts cdf_at" 5.5
+    (Histogram.quantile h (Histogram.cdf_at h 5.5))
+
+let test_histogram_percentiles_array () =
+  let h = Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  let ps = Histogram.percentiles h [| 50.; 90.; 99. |] in
+  Alcotest.(check int) "three results" 3 (Array.length ps);
+  check_close 1.5 "p50" 50. ps.(0);
+  check_close 1.5 "p90" 90. ps.(1);
+  check_close 1.5 "p99" 99. ps.(2)
+
+let test_histogram_log_spacing () =
+  let h = Histogram.create_log ~lo:1e-3 ~hi:10. ~bins:80 in
+  check_close 1e-12 "first edge is lo" 1e-3 (Histogram.bin_edge h 0);
+  check_close 1e-9 "last edge is hi" 10. (Histogram.bin_edge h 80);
+  (* log spacing means a constant edge ratio, not a constant width *)
+  check_close 1e-9 "geometric progression"
+    (Histogram.bin_edge h 1 /. Histogram.bin_edge h 0)
+    (Histogram.bin_edge h 41 /. Histogram.bin_edge h 40);
+  (* log-uniform samples over four decades: the median is the geometric
+     midpoint of the range, within bucketing error *)
+  for i = 0 to 99 do
+    Histogram.add h (10. ** (-3. +. (4. *. (float_of_int i +. 0.5) /. 100.)))
+  done;
+  let q50 = Histogram.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median near 0.1 (got %g)" q50)
+    true
+    (q50 > 0.07 && q50 < 0.15);
+  (* non-positive values cannot be log-binned; they saturate low *)
+  Histogram.add h (-1.);
+  Alcotest.(check bool) "value <= 0 lands in the first bin" true
+    (Histogram.bin_count h 0 >= 1)
+
+let test_histogram_log_invalid () =
+  Alcotest.check_raises "lo <= 0"
+    (Invalid_argument "Histogram.create_log: lo <= 0") (fun () ->
+      ignore (Histogram.create_log ~lo:0. ~hi:1. ~bins:4))
+
 (* --- Timeseries ----------------------------------------------------- *)
 
 let test_ts_basic () =
@@ -180,6 +269,23 @@ let test_ts_resample () =
   check_float "t0" 1. r.(0);
   check_float "t1" 1. r.(1);
   check_float "t2" 5. r.(2)
+
+let test_ts_resample_boundaries () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:1. 2.;
+  Timeseries.add ts ~time:2. 3.;
+  (* an empty window resamples to nothing *)
+  Alcotest.(check int) "from = until" 0
+    (Array.length (Timeseries.resample ts ~dt:0.5 ~from:1.5 ~until:1.5));
+  (* sample-and-hold: nan before the first sample, the last value held
+     on grid points past the final sample *)
+  let r = Timeseries.resample ts ~dt:1. ~from:0. ~until:5. in
+  Alcotest.(check int) "samples" 5 (Array.length r);
+  Alcotest.(check bool) "nan before first sample" true (Float.is_nan r.(0));
+  check_float "at the first sample" 2. r.(1);
+  check_float "at the second" 3. r.(2);
+  check_float "held past the last" 3. r.(3);
+  check_float "still held" 3. r.(4)
 
 let test_ts_growth () =
   let ts = Timeseries.create () in
@@ -241,6 +347,20 @@ let suite =
     Alcotest.test_case "histogram: quantiles" `Quick test_histogram_quantile;
     Alcotest.test_case "histogram: invalid args" `Quick test_histogram_invalid;
     q prop_histogram_count_preserved;
+    Alcotest.test_case "histogram: quantiles of empty are nan" `Quick
+      test_histogram_quantiles_empty;
+    Alcotest.test_case "histogram: single sample" `Quick
+      test_histogram_single_sample;
+    Alcotest.test_case "histogram: quantiles at edge bins" `Quick
+      test_histogram_quantile_edge_bins;
+    Alcotest.test_case "histogram: cdf_at interpolates" `Quick
+      test_histogram_cdf_at_interpolates;
+    Alcotest.test_case "histogram: percentiles array" `Quick
+      test_histogram_percentiles_array;
+    Alcotest.test_case "histogram: log spacing" `Quick
+      test_histogram_log_spacing;
+    Alcotest.test_case "histogram: log rejects lo <= 0" `Quick
+      test_histogram_log_invalid;
     Alcotest.test_case "timeseries: basic" `Quick test_ts_basic;
     Alcotest.test_case "timeseries: rejects backwards time" `Quick
       test_ts_rejects_backwards;
