@@ -857,9 +857,11 @@ let micro_estimates () =
       (Staged.stage (fun () ->
            let sim = Mptcp_repro.Netsim.Sim.create () in
            for i = 0 to 999 do
-             Mptcp_repro.Netsim.Sim.schedule_at sim
-               (float_of_int ((i * 7919) mod 1000))
-               (fun () -> ())
+             ignore
+               (Mptcp_repro.Netsim.Sim.schedule_at ~src:"bench.micro" sim
+                  (float_of_int ((i * 7919) mod 1000))
+                  (fun () -> ())
+                 : Mptcp_repro.Netsim.Sim.Timer.t)
            done;
            Mptcp_repro.Netsim.Sim.run sim))
   in
@@ -1081,7 +1083,7 @@ let targets : (string * string * (unit -> unit)) list =
 let () =
   let snapshot_path = ref None in
   let baseline_path = ref None in
-  let tolerance = ref 0.2 in
+  let tolerance = ref 0.15 in
   let usage () =
     print_endline
       "usage: bench [--quick] [--list] [--snapshot FILE [--baseline FILE] \

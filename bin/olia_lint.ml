@@ -2,7 +2,7 @@
 
    Walks every .ml/.mli under the given roots (default: lib bin bench
    test), parses them with compiler-libs and enforces the invariant
-   catalogue R1-R7 described in docs/LINT.md. Exit status: 0 clean,
+   catalogue R1-R8 described in docs/LINT.md. Exit status: 0 clean,
    1 findings, 2 usage error. *)
 
 let usage = "usage: olia_lint [--json] [--rules] [DIR|FILE ...]"
@@ -12,7 +12,7 @@ let print_rules () =
     (fun r ->
       Printf.printf "%-8s %s\n" (Repro_lint.Finding.rule_name r)
         (Repro_lint.Finding.rule_doc r))
-    Repro_lint.Finding.[ R1; R2; R3; R4; R5; R6; R7; Parse; Suppress ]
+    Repro_lint.Finding.[ R1; R2; R3; R4; R5; R6; R7; R8; Parse; Suppress ]
 
 let () =
   let json = ref false in

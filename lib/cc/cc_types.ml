@@ -1,4 +1,4 @@
-type subflow_view = { cwnd : float; rtt : float }
+type subflow_view = { mutable cwnd : float; mutable rtt : float }
 
 type t = {
   name : string;

@@ -6,9 +6,13 @@
     (MSS units) and may be fractional. *)
 
 type subflow_view = {
-  cwnd : float;  (** congestion window, packets *)
-  rtt : float;  (** smoothed round-trip time, seconds *)
+  mutable cwnd : float;  (** congestion window, packets *)
+  mutable rtt : float;  (** smoothed round-trip time, seconds *)
 }
+(* Both fields are mutable (and float-only, so stores stay unboxed): the
+   transport layer refreshes one long-lived view array per connection
+   instead of rebuilding it on every ACK. Algorithms must treat views as
+   read-only snapshots valid only for the current call. *)
 (** What an algorithm may observe about each subflow (exactly the
     information available to a regular TCP sender, as the paper
     requires). *)

@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Parse | Suppress
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | Parse | Suppress
 
 let rule_name = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let rule_name = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
   | Parse -> "parse"
   | Suppress -> "suppress"
 
@@ -19,6 +20,7 @@ let rule_of_name = function
   | "R5" -> Some R5
   | "R6" -> Some R6
   | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
 let rule_doc = function
@@ -43,6 +45,10 @@ let rule_doc = function
   | R7 ->
     "seed plumbing: lib/scenarios must thread the RNG seed from the \
      caller's config, never hard-code or default it"
+  | R8 ->
+    "timer attribution: every Sim.schedule_*/Sim.every call must carry an \
+     explicit ~src label so the event-loop profiler can attribute \
+     dispatches"
   | Parse -> "the file must parse before any rule can run"
   | Suppress -> "suppression directives need valid rule ids and a reason"
 
@@ -54,8 +60,9 @@ let rule_index = function
   | R5 -> 5
   | R6 -> 6
   | R7 -> 7
-  | Parse -> 8
-  | Suppress -> 9
+  | R8 -> 8
+  | Parse -> 9
+  | Suppress -> 10
 
 type t = {
   rule : rule;

@@ -12,14 +12,15 @@ type rule =
   | R5  (** registry completeness: scenario unreachable from the registry *)
   | R6  (** error hygiene: [ignore] of a [result] value *)
   | R7  (** seed plumbing: hard-coded or defaulted RNG seed in scenarios *)
+  | R8  (** timer attribution: [Sim.schedule_*]/[Sim.every] without [~src] *)
   | Parse  (** the file does not parse; nothing else was checked *)
   | Suppress  (** malformed suppression directive *)
 
 val rule_name : rule -> string
-(** ["R1"] ... ["R7"], ["parse"], ["suppress"]. *)
+(** ["R1"] ... ["R8"], ["parse"], ["suppress"]. *)
 
 val rule_of_name : string -> rule option
-(** Inverse of {!rule_name} for the suppressible rules R1-R7 only:
+(** Inverse of {!rule_name} for the suppressible rules R1-R8 only:
     [Parse] and [Suppress] findings cannot be waived. *)
 
 val rule_doc : rule -> string

@@ -1,4 +1,4 @@
-(** The rule catalogue R1-R7.
+(** The rule catalogue R1-R8.
 
     Rules are purely syntactic (no typing pass), so each one errs on
     the side of precision over recall; docs/LINT.md records the
@@ -26,7 +26,7 @@ val scope_r7 : string -> bool
     fixtures legitimately pin literal seeds. *)
 
 val check_structure : path:string -> Parsetree.structure -> Finding.t list
-(** Run R1-R4, R6 and R7 (as scoped for [path]) over one parsed
+(** Run R1-R4 and R6-R8 (as scoped for [path]) over one parsed
     implementation. *)
 
 val check_registry :

@@ -57,7 +57,8 @@ let drop t (p : Packet.t) =
            seq = p.seq;
            kind = Packet.kind_name p;
            cause = Trace.Link_down;
-         })
+         });
+  Packet.free p
 
 let hop t (p : Packet.t) =
   match t.mode with
@@ -69,7 +70,7 @@ let hop t (p : Packet.t) =
     drop t p
   | Burst { loss_prob } -> (
     match p.kind with
-    | Packet.Ack _ ->
+    | Packet.Ack ->
       t.passed <- t.passed + 1;
       Packet.forward p
     | Packet.Data ->
@@ -81,8 +82,10 @@ let hop t (p : Packet.t) =
   | Reorder { prob; extra_delay } ->
     if Rng.float t.rng < prob then begin
       t.reordered <- t.reordered + 1;
-      Sim.schedule_after ~src:"fault.reorder" t.sim extra_delay (fun () ->
-          Packet.forward p)
+      ignore
+        (Sim.schedule_pkt_after ~src:"fault.reorder" t.sim extra_delay
+           Packet.forward p
+          : Sim.Timer.t)
     end
     else begin
       t.passed <- t.passed + 1;
@@ -90,7 +93,9 @@ let hop t (p : Packet.t) =
     end
 
 let schedule_mode t ~at mode =
-  Sim.schedule_at ~src:"fault.mode" t.sim at (fun () -> set_mode t mode)
+  ignore
+    (Sim.schedule_at ~src:"fault.mode" t.sim at (fun () -> set_mode t mode)
+      : Sim.Timer.t)
 
 let schedule_flap t ~down_at ~up_at =
   if up_at <= down_at then invalid_arg "Fault.schedule_flap: up_at <= down_at";

@@ -16,7 +16,7 @@ let create ?sim ?(name = "lossy") ~rng ~loss_prob () =
 
 let hop t (p : Packet.t) =
   match p.kind with
-  | Packet.Ack _ -> Packet.forward p
+  | Packet.Ack -> Packet.forward p
   | Packet.Data ->
     if Rng.float t.rng < t.loss_prob then begin
       t.dropped <- t.dropped + 1;
@@ -31,7 +31,8 @@ let hop t (p : Packet.t) =
                seq = p.seq;
                kind = Packet.kind_name p;
                cause = Trace.Random_loss;
-             })
+             });
+      Packet.free p
     end
     else begin
       t.passed <- t.passed + 1;

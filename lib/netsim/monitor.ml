@@ -4,13 +4,15 @@ type t = {
   sim : Sim.t;
   period : float;
   mutable probes : probe list;  (* reversed registration order *)
+  mutable timer : Sim.Timer.t;
   table : (string, Repro_stats.Timeseries.t) Hashtbl.t;
 }
 
 let create ~sim ~period ?(start = 0.) ?(stop = infinity) () =
   if period <= 0. then invalid_arg "Monitor.create: period <= 0";
-  let t = { sim; period; probes = []; table = Hashtbl.create 8 } in
-  let rec tick () =
+  let t = { sim; period; probes = []; timer = Sim.Timer.none;
+            table = Hashtbl.create 8 } in
+  let tick () =
     let now = Sim.now sim in
     List.iter
       (fun p ->
@@ -18,10 +20,10 @@ let create ~sim ~period ?(start = 0.) ?(stop = infinity) () =
           (p.sample ()))
       (List.rev t.probes);
     (* keep sampling as long as other events may still be scheduled *)
-    if now +. period <= stop && Sim.pending sim > 0 then
-      Sim.schedule_after ~src:"monitor.sample" sim period tick
+    if not (now +. period <= stop && Sim.pending sim > 0) then
+      Sim.Timer.cancel sim t.timer
   in
-  Sim.schedule_at ~src:"monitor.sample" sim start tick;
+  t.timer <- Sim.every ~src:"monitor.sample" ~start sim period tick;
   t
 
 let series t name = Hashtbl.find t.table name

@@ -2,29 +2,53 @@
 
     A packet carries its remaining route as an array of hops; each hop is
     a function consuming the packet (a queue's enqueue, a pipe's delay, or
-    an endpoint's protocol handler). *)
+    an endpoint's protocol handler).
+
+    Packet records are pooled: {!data} and {!ack} recycle cells from a
+    per-domain free list and the component that consumes a packet — a
+    protocol sink, or a queue/fault stage that drops it — must hand it
+    back with {!free}. All fields are mutable for that reason; treat a
+    packet as owned by whoever currently holds it. The float timestamps
+    live in the float-only {!type-stamps} sub-record so re-stamping them
+    never allocates. *)
 
 type kind =
   | Data  (** one MSS of payload *)
-  | Ack of { ackno : int; echo : float; sack : (int * int) option }
-      (** cumulative ACK: [ackno] is the next expected sequence number;
-          [echo] is the departure timestamp of the packet that triggered
-          it, used for RTT sampling; [sack] is the most recent SACK block
-          [\[lo, hi)] of out-of-order data held by the receiver *)
+  | Ack
+      (** cumulative ACK; the payload rides in the [ackno], [sack] and
+          [times.echo] fields so that building one allocates nothing *)
 
-type t = {
-  kind : kind;
-  seq : int;  (** sequence number, in packets (Data only; 0 for ACKs) *)
-  size_bytes : int;
-  flow : int;  (** connection id, for tracing *)
-  subflow : int;
-  mutable hop : int;  (** index of the next hop to visit *)
-  route : hop array;
+(** Float-only timestamp block (unboxed stores). *)
+type stamps = {
   mutable sent_at : float;  (** departure time from the sender *)
   mutable enqueued_at : float;
       (** admission time at the queue currently holding the packet,
           re-stamped at every queue hop; [sent_at] until first queued.
           Queue-residence spans ([Pkt_forward.qdelay]) derive from it. *)
+  mutable echo : float;
+      (** ACKs only: departure timestamp of the packet that triggered
+          the ACK, used for RTT sampling *)
+}
+
+type t = {
+  mutable kind : kind;
+  mutable seq : int;
+      (** sequence number, in packets (Data only; 0 for ACKs) *)
+  mutable size_bytes : int;
+  mutable flow : int;  (** connection id, for tracing *)
+  mutable subflow : int;
+  mutable hop : int;  (** index of the next hop to visit *)
+  mutable route : hop array;
+  mutable ackno : int;
+      (** ACKs only: the next expected sequence number *)
+  mutable sack : (int * int) option;
+      (** ACKs only: the most recent SACK block [\[lo, hi)] of
+          out-of-order data held by the receiver; [None] on the
+          in-order path, so the steady state allocates nothing *)
+  times : stamps;
+  mutable live : bool;
+      (** debug-only ownership bit: set by the pool, cleared by
+          {!free}; checked when OLIA_DEBUG_INVARIANTS is armed *)
 }
 
 and hop = t -> unit
@@ -40,12 +64,25 @@ val kind_name : t -> string
 
 val data : flow:int -> subflow:int -> seq:int -> sent_at:float ->
   route:hop array -> t
-(** A data packet positioned at the first hop of [route]. *)
+(** A data packet positioned at the first hop of [route], drawn from the
+    per-domain pool. *)
 
 val ack : flow:int -> subflow:int -> ackno:int -> echo:float ->
   sack:(int * int) option -> route:hop array -> sent_at:float -> t
-(** An acknowledgment positioned at the first hop of [route]. *)
+(** An acknowledgment positioned at the first hop of [route], drawn from
+    the per-domain pool. *)
+
+val free : t -> unit
+(** Return a packet to the pool. Call exactly once, at the point the
+    packet leaves the simulation: a protocol sink that has absorbed it,
+    or a queue/fault/lossy stage that dropped it. Double frees raise
+    [Invariant.Violation] when invariants are armed. *)
 
 val forward : t -> unit
 (** Deliver the packet to its next hop, advancing the hop index. Must not
     be called past the last hop (asserted). *)
+
+val sentinel : unit -> t
+(** A fresh packet that is outside the pool protocol ([live = false],
+    never to be forwarded or freed): a placeholder for "no packet" slots
+    in data structures. *)

@@ -88,14 +88,13 @@ let attach ~sim ~policy conn =
       reprobes = 0;
     }
   in
-  let rec tick () =
-    check t;
-    Sim.schedule_after ~src:"path_manager.check" sim policy.check_period tick
-  in
   (* baseline the counters so the first period excludes history from
      before the manager was attached *)
   snapshot t;
-  Sim.schedule_after ~src:"path_manager.check" sim policy.check_period tick;
+  ignore
+    (Sim.every ~src:"path_manager.check" sim policy.check_period (fun () ->
+         check t)
+      : Sim.Timer.t);
   t
 
 let discards t = t.discards

@@ -4,8 +4,11 @@ let create ~sim ~delay =
   if delay < 0. then invalid_arg "Pipe.create: negative delay";
   { sim; delay }
 
+(* The packet rides in the timer cell itself and [Packet.forward] is a
+   static function, so a pipe traversal schedules without allocating. *)
 let hop t (p : Packet.t) =
-  Sim.schedule_after ~src:"pipe.deliver" t.sim t.delay (fun () ->
-      Packet.forward p)
+  ignore
+    (Sim.schedule_pkt_after ~src:"pipe.deliver" t.sim t.delay Packet.forward p
+      : Sim.Timer.t)
 
 let delay t = t.delay

@@ -18,6 +18,10 @@ let paper_red ~link_mbps =
 
 type discipline = Droptail | Red of red_params
 
+(* Float-only so stores stay unboxed: [idle_since] is written on every
+   busy->idle transition, which under light load is once per packet. *)
+type red_state = { mutable avg_queue : float; mutable idle_since : float }
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -25,11 +29,18 @@ type t = {
   buffer_pkts : int;
   discipline : discipline;
   name : string;
-  fifo : Packet.t Stdlib.Queue.t;
+  (* FIFO as a ring over a preallocated array (the backlog is bounded
+     by [buffer_pkts]), so enqueue/dequeue never allocate. [sentinel]
+     parks empty slots so the ring doesn't retain forwarded packets. *)
+  ring : Packet.t array;
+  sentinel : Packet.t;
+  mutable head : int; (* index of the oldest queued packet *)
+  mutable count : int; (* queued packets, excluding the one in service *)
+  mutable in_service : Packet.t; (* [sentinel] when not busy *)
+  mutable on_served : unit -> unit; (* persistent serve-completion fn *)
   mutable busy : bool;
   mutable backlog : int;
-  mutable avg_queue : float;
-  mutable idle_since : float;
+  red : red_state;
   mutable red_count : int;  (* packets since the last RED drop *)
   mutable arrivals : int;
   mutable drops : int;
@@ -44,38 +55,11 @@ type t = {
   mutable dbg_service_data : bool;  (* is the packet in service Data? *)
 }
 
-let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
-  if rate_bps <= 0. then invalid_arg "Queue.create: rate must be > 0";
-  if buffer_pkts <= 0 then invalid_arg "Queue.create: buffer must be > 0";
-  {
-    sim;
-    rng;
-    rate_bps;
-    buffer_pkts;
-    discipline;
-    name;
-    fifo = Stdlib.Queue.create ();
-    busy = false;
-    backlog = 0;
-    avg_queue = 0.;
-    idle_since = 0.;
-    red_count = -1;
-    arrivals = 0;
-    drops = 0;
-    drops_overflow = 0;
-    drops_red = 0;
-    bytes_forwarded = 0;
-    dbg_data_in = 0;
-    dbg_data_dropped = 0;
-    dbg_data_done = 0;
-    dbg_service_data = false;
-  }
-
-let service_time t (p : Packet.t) =
+let[@inline] service_time t (p : Packet.t) =
   float_of_int (8 * p.size_bytes) /. t.rate_bps
 
 let is_data (p : Packet.t) =
-  match p.kind with Packet.Data -> true | Packet.Ack _ -> false
+  match p.kind with Packet.Data -> true | Packet.Ack -> false
 
 (* Packet conservation and occupancy, checked at every state change
    when OLIA_DEBUG_INVARIANTS is set: every data packet that ever
@@ -89,56 +73,101 @@ let check_invariants t =
       (Printf.sprintf "queue %s: backlog %d outside [0, %d]" t.name t.backlog
          t.buffer_pkts);
     Invariant.require
-      (t.backlog
-       = Stdlib.Queue.length t.fifo + (if t.busy then 1 else 0))
+      (t.backlog = t.count + (if t.busy then 1 else 0))
       (Printf.sprintf
          "queue %s: backlog %d disagrees with fifo length %d (busy %b)"
-         t.name t.backlog
-         (Stdlib.Queue.length t.fifo)
-         t.busy);
-    let queued_data =
-      Stdlib.Queue.fold
-        (fun acc p -> if is_data p then acc + 1 else acc)
-        (if t.dbg_service_data then 1 else 0)
-        t.fifo
-    in
+         t.name t.backlog t.count t.busy);
+    let queued_data = ref (if t.dbg_service_data then 1 else 0) in
+    let cap = Array.length t.ring in
+    for i = 0 to t.count - 1 do
+      if is_data t.ring.((t.head + i) mod cap) then incr queued_data
+    done;
     Invariant.require
-      (t.dbg_data_in = t.dbg_data_dropped + t.dbg_data_done + queued_data)
+      (t.dbg_data_in = t.dbg_data_dropped + t.dbg_data_done + !queued_data)
       (Printf.sprintf
          "queue %s: data packets not conserved (in %d <> dropped %d + \
           delivered %d + queued %d)"
-         t.name t.dbg_data_in t.dbg_data_dropped t.dbg_data_done queued_data)
+         t.name t.dbg_data_in t.dbg_data_dropped t.dbg_data_done !queued_data)
   end
 
 let rec serve t =
-  match Stdlib.Queue.take_opt t.fifo with
-  | None ->
+  if t.count = 0 then begin
     t.busy <- false;
-    t.idle_since <- Sim.now t.sim
-  | Some p ->
+    t.red.idle_since <- Sim.now t.sim
+  end
+  else begin
+    let p = t.ring.(t.head) in
+    t.ring.(t.head) <- t.sentinel;
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    t.count <- t.count - 1;
     t.busy <- true;
+    t.in_service <- p;
     t.dbg_service_data <- is_data p;
-    Sim.schedule_after ~src:"queue.serve" t.sim (service_time t p) (fun () ->
-        t.backlog <- t.backlog - 1;
-        t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
-        if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
-        t.dbg_service_data <- false;
-        if Trace.enabled () then
-          Trace.emit
-            (Trace.Pkt_forward
-               {
-                 time = Sim.now t.sim;
-                 queue = t.name;
-                 flow = p.flow;
-                 subflow = p.subflow;
-                 seq = p.seq;
-                 kind = Packet.kind_name p;
-                 bytes = p.size_bytes;
-                 qdelay = Sim.now t.sim -. p.enqueued_at;
-               });
-        Packet.forward p;
-        serve t;
-        check_invariants t)
+    ignore
+      (Sim.schedule_after ~src:"queue.serve" t.sim (service_time t p)
+         t.on_served
+        : Sim.Timer.t)
+  end
+
+and finish_service t =
+  let p = t.in_service in
+  t.in_service <- t.sentinel;
+  t.backlog <- t.backlog - 1;
+  t.bytes_forwarded <- t.bytes_forwarded + p.size_bytes;
+  if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
+  t.dbg_service_data <- false;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Pkt_forward
+         {
+           time = Sim.now t.sim;
+           queue = t.name;
+           flow = p.flow;
+           subflow = p.subflow;
+           seq = p.seq;
+           kind = Packet.kind_name p;
+           bytes = p.size_bytes;
+           qdelay = Sim.now t.sim -. p.times.enqueued_at;
+         });
+  Packet.forward p;
+  serve t;
+  check_invariants t
+
+let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
+  if rate_bps <= 0. then invalid_arg "Queue.create: rate must be > 0";
+  if buffer_pkts <= 0 then invalid_arg "Queue.create: buffer must be > 0";
+  let sentinel = Packet.sentinel () in
+  let t =
+    {
+      sim;
+      rng;
+      rate_bps;
+      buffer_pkts;
+      discipline;
+      name;
+      ring = Array.make buffer_pkts sentinel;
+      sentinel;
+      head = 0;
+      count = 0;
+      in_service = sentinel;
+      on_served = (fun () -> ());
+      busy = false;
+      backlog = 0;
+      red = { avg_queue = 0.; idle_since = 0. };
+      red_count = -1;
+      arrivals = 0;
+      drops = 0;
+      drops_overflow = 0;
+      drops_red = 0;
+      bytes_forwarded = 0;
+      dbg_data_in = 0;
+      dbg_data_dropped = 0;
+      dbg_data_done = 0;
+      dbg_service_data = false;
+    }
+  in
+  t.on_served <- (fun () -> finish_service t);
+  t
 
 let red_drop_probability params avg =
   if avg < params.min_th then 0.
@@ -155,16 +184,16 @@ let red_decides_drop t params =
      back-to-back (Floyd & Jacobson's idle handling), so a drained queue
      does not keep dropping based on a stale average. *)
   if (not t.busy) && t.backlog = 0 then begin
-    let idle = Sim.now t.sim -. t.idle_since in
+    let idle = Sim.now t.sim -. t.red.idle_since in
     let pkt_time = float_of_int (8 * Packet.data_size) /. t.rate_bps in
     if idle > 0. && pkt_time > 0. then
-      t.avg_queue <-
-        t.avg_queue *. ((1. -. params.weight) ** (idle /. pkt_time))
+      t.red.avg_queue <-
+        t.red.avg_queue *. ((1. -. params.weight) ** (idle /. pkt_time))
   end;
-  t.avg_queue <-
-    ((1. -. params.weight) *. t.avg_queue)
+  t.red.avg_queue <-
+    ((1. -. params.weight) *. t.red.avg_queue)
     +. (params.weight *. float_of_int t.backlog);
-  let p_b = red_drop_probability params t.avg_queue in
+  let p_b = red_drop_probability params t.red.avg_queue in
   if p_b <= 0. then begin
     t.red_count <- -1;
     false
@@ -217,11 +246,13 @@ let enqueue t (p : Packet.t) =
              seq = p.seq;
              kind = Packet.kind_name p;
              cause = (if overflow then Trace.Overflow else Trace.Red_early);
-           })
+           });
+    Packet.free p
   end
   else begin
-    p.enqueued_at <- Sim.now t.sim;
-    Stdlib.Queue.add p t.fifo;
+    p.times.enqueued_at <- Sim.now t.sim;
+    t.ring.((t.head + t.count) mod Array.length t.ring) <- p;
+    t.count <- t.count + 1;
     t.backlog <- t.backlog + 1;
     if Trace.enabled () then
       Trace.emit

@@ -1,132 +1,665 @@
-(* Binary min-heap on (time, seq); seq breaks ties in insertion order so
-   the schedule is deterministic. *)
+(* Hierarchical timing wheel with pooled timer cells.
+
+   Time is quantised to integer nanosecond ticks for *placement* only:
+   the wheel orders events between slots, and each slot is drained into
+   a "due" buffer sorted by the exact [(float time, seq)] pair, so
+   dispatch order is identical to the old binary heap's and the tick
+   quantisation is never observable. Four levels of 256 slots with a
+   level-0 granularity of 2^16 ns span ~3.26 simulated days; events
+   beyond that live in a sorted spill list, and every spill tick is
+   strictly greater than every wheel tick so the two never interleave.
+
+   Cells are a pool indexed by small ints. The seven int fields of a
+   cell are packed at stride 8 in one [int array] (one cache line per
+   cell) and its two float fields at stride 2 in one [floatarray]
+   (unboxed stores); the free list threads through the [next] field. A
+   [Timer.t] handle packs the cell index with a generation stamp into
+   one immediate int, so arming, firing, cancelling and re-arming a
+   timer allocates nothing. *)
+
+module Profile = Repro_obs.Profile
+
+let bits = 8
+let slots_per_level = 1 lsl bits (* 256 *)
+let slot_mask = slots_per_level - 1
+let levels = 4
+let g0 = 16 (* level-0 slot width: 2^16 ns = 65.536 us *)
+let shift k = g0 + (k * bits)
+let sh0 = g0
+let sh1 = g0 + bits
+let sh2 = g0 + (2 * bits)
+let sh3 = g0 + (3 * bits)
+let sh4 = g0 + (4 * bits) (* 48: beyond this horizon, events spill *)
+let idx_bits = 24 (* up to 16M live cells; generations in the rest *)
+let idx_mask = (1 lsl idx_bits) - 1
+
+(* [int_of_float] is unspecified out of range, so clamp absurd times to
+   one huge shared tick; such events all land in the spill list, where
+   ordering uses the exact floats anyway. *)
+let huge_tick = max_int lsr 1
+
+let[@inline] tick_of_time time =
+  if time >= 4.0e9 then huge_tick else int_of_float (time *. 1e9)
+
+(* Cell states. *)
+let st_free = 0
+let st_wheel = 1
+let st_due = 2
+let st_spill = 3
+let st_running = 4 (* periodic timer inside its own callback *)
+let st_cancelled = 5 (* periodic cancelled from inside its callback *)
+
+let nil = -1
+let nop () = ()
+let pnop (_ : Packet.t) = ()
+
+(* Offsets of a cell's int fields within its stride-8 block. *)
+let o_tick = 0 (* placement tick *)
+let o_seq = 1 (* tie-break: scheduling order *)
+let o_gen = 2 (* bumped on free; stale-handle guard *)
+let o_state = 3
+let o_slot = 4 (* wheel cells: level*256 + slot index *)
+let o_next = 5 (* slot/spill chain, free-list link *)
+let o_prev = 6
+let o_kind = 7 (* 1 when the callback is the packet fn, else 0 *)
+
 type t = {
-  mutable times : float array;
-  mutable seqs : int array;
-  mutable fns : (unit -> unit) array;
-  mutable len : int;
-  mutable clock : float;
+  (* --- cell pool (all grown together) --- *)
+  mutable cap : int;
+  mutable fl_ : floatarray; (* stride 2: exact fire time; period *)
+  mutable ints_ : int array; (* stride 8: the o_* fields above *)
+  mutable fn_ : (unit -> unit) array;
+  mutable pfn_ : (Packet.t -> unit) array;
+  mutable pkt_ : Packet.t array;
+  mutable free_head : int;
+  (* --- wheel --- *)
+  slots : int array; (* head cell per slot, levels*256, nil if empty *)
+  occ : int array; (* occupancy bitmaps: 8 words of 32 bits per level *)
+  summ : int array; (* per level: bit w set iff occ word w is nonzero *)
+  mutable spill_head : int;
+  mutable cur : int; (* wheel position: tick at the current slot base *)
+  (* --- due buffer: the current slot, sorted by (time, seq) --- *)
+  mutable due : int array;
+  mutable due_head : int;
+  mutable due_len : int;
+  sentinel : Packet.t; (* parks the pkt_ slot of non-packet cells *)
+  (* --- clock and counters --- *)
+  clk : floatarray;
+      (* one slot; a [mutable clock : float] field in this mixed record
+         would box on every store — one minor alloc per dispatch *)
+  stage : floatarray;
+      (* one slot: staging area for passing a deadline into the
+         out-of-line scheduler without a float argument (float args box
+         at call boundaries the inliner declines to erase) *)
   mutable next_seq : int;
+  mutable len : int; (* pending timers *)
   mutable processed : int;
-  mutable max_depth : int;
+  mutable max_depth : int; (* high-water of [len] *)
 }
 
-let nop () = ()
+(* Thread the free list through [o_next] and stamp fresh generations
+   over [pool.(from * 8) ..] (field defaults elsewhere are all 0). *)
+let init_cells pool ~from ~until =
+  for i = from to until - 1 do
+    let b = i lsl 3 in
+    Array.unsafe_set pool (b + o_gen) 1;
+    Array.unsafe_set pool (b + o_slot) nil;
+    Array.unsafe_set pool (b + o_next) (if i + 1 < until then i + 1 else nil);
+    Array.unsafe_set pool (b + o_prev) nil
+  done
 
 let create () =
+  let cap = 256 in
+  let sentinel = Packet.sentinel () in
+  let ints_ = Array.make (cap * 8) 0 in
+  init_cells ints_ ~from:0 ~until:cap;
   {
-    times = Array.make 1024 0.;
-    seqs = Array.make 1024 0;
-    fns = Array.make 1024 nop;
-    len = 0;
-    clock = 0.;
+    cap;
+    fl_ = Float.Array.make (cap * 2) 0.;
+    ints_;
+    fn_ = Array.make cap nop;
+    pfn_ = Array.make cap pnop;
+    pkt_ = Array.make cap sentinel;
+    free_head = 0;
+    slots = Array.make (levels * slots_per_level) nil;
+    occ = Array.make (levels * 8) 0;
+    summ = Array.make levels 0;
+    spill_head = nil;
+    cur = 0;
+    due = Array.make 64 nil;
+    due_head = 0;
+    due_len = 0;
+    sentinel;
+    clk = Float.Array.make 1 0.;
+    stage = Float.Array.make 1 0.;
     next_seq = 0;
+    len = 0;
     processed = 0;
     max_depth = 0;
   }
 
-let now t = t.clock
+type sim = t
+
+(* Inlined so the float result stays in a register at call sites (the
+   classical compiler boxes float returns across calls). *)
+let[@inline] now t = Float.Array.unsafe_get t.clk 0
 let pending t = t.len
 let events_processed t = t.processed
 let max_heap_depth t = t.max_depth
 
-let less t i j =
-  t.times.(i) < t.times.(j)
-  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+(* --- cell field accessors --- *)
 
-let swap t i j =
-  let tt = t.times.(i) in
-  t.times.(i) <- t.times.(j);
-  t.times.(j) <- tt;
-  let s = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- s;
-  let f = t.fns.(i) in
-  t.fns.(i) <- t.fns.(j);
-  t.fns.(j) <- f
+let[@inline] get_time t c = Float.Array.unsafe_get t.fl_ (c * 2)
+let[@inline] set_time t c v = Float.Array.unsafe_set t.fl_ (c * 2) v
+let[@inline] get_period t c = Float.Array.unsafe_get t.fl_ ((c * 2) + 1)
+let[@inline] set_period t c v = Float.Array.unsafe_set t.fl_ ((c * 2) + 1) v
+let[@inline] get_tick t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_tick)
+let[@inline] set_tick t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_tick) v
+let[@inline] get_seq t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_seq)
+let[@inline] set_seq t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_seq) v
+let[@inline] get_gen t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_gen)
+let[@inline] set_gen t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_gen) v
+let[@inline] get_state t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_state)
+let[@inline] set_state t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_state) v
+let[@inline] get_slot t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_slot)
+let[@inline] set_slot t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_slot) v
+let[@inline] get_next t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_next)
+let[@inline] set_next t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_next) v
+let[@inline] get_prev t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_prev)
+let[@inline] set_prev t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_prev) v
+let[@inline] get_kind t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_kind)
+let[@inline] set_kind t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_kind) v
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less t i parent then begin
-      swap t i parent;
-      sift_up t parent
+(* --- cell pool --- *)
+
+let grow t =
+  let cap = t.cap in
+  let cap' = 4 * cap in
+  if cap' > idx_mask + 1 then invalid_arg "Sim: too many pending timers";
+  let gi old init len len' =
+    let a = Array.make len' init in
+    Array.blit old 0 a 0 len;
+    a
+  in
+  let fl = Float.Array.make (cap' * 2) 0. in
+  Float.Array.blit t.fl_ 0 fl 0 (cap * 2);
+  t.fl_ <- fl;
+  t.ints_ <- gi t.ints_ 0 (cap * 8) (cap' * 8);
+  init_cells t.ints_ ~from:cap ~until:cap';
+  t.fn_ <- gi t.fn_ nop cap cap';
+  t.pfn_ <- gi t.pfn_ pnop cap cap';
+  t.pkt_ <- gi t.pkt_ t.sentinel cap cap';
+  t.free_head <- cap;
+  t.cap <- cap'
+
+let alloc_cell t =
+  if t.free_head = nil then grow t;
+  let c = t.free_head in
+  t.free_head <- get_next t c;
+  c
+
+(* Bump the generation so outstanding handles go stale. The callback
+   and packet slots are deliberately NOT cleared: each clear is a
+   [caml_modify] write barrier on the hottest path in the simulator,
+   and a free cell's stale references die at the next reuse anyway.
+   The retention this trades away is bounded by the pool size, and
+   packets are owned by the packet pool regardless. The [o_kind] flag
+   (set by every schedule) keeps a reused cell from dispatching a
+   stale packet callback. *)
+let free_cell t c =
+  set_gen t c (get_gen t c + 1);
+  set_state t c st_free;
+  set_next t c t.free_head;
+  t.free_head <- c
+
+(* --- handles --- *)
+
+let[@inline] handle_of t c = (get_gen t c lsl idx_bits) lor c
+
+let cell_of t h =
+  if h < 0 then nil
+  else
+    let c = h land idx_mask in
+    if c < t.cap && get_state t c <> st_free && get_gen t c = h lsr idx_bits
+    then c
+    else nil
+
+(* --- due buffer: cells of the current slot, (time, seq)-sorted --- *)
+
+let due_grow t =
+  let a = Array.make (2 * Array.length t.due) nil in
+  Array.blit t.due 0 a 0 t.due_len;
+  t.due <- a
+
+(* Insert keeping [(time, seq)] order. Fresh arrivals carry the largest
+   seq, so they nearly always sort last: scan from the tail. Only
+   positions >= [due_head] move; the already-dispatched prefix stays
+   put, so a dispatch in progress is unaffected. *)
+let due_insert t c =
+  if t.due_head = t.due_len then begin
+    t.due_head <- 0;
+    t.due_len <- 0
+  end;
+  if t.due_len = Array.length t.due then due_grow t;
+  let time = get_time t c in
+  let seq = get_seq t c in
+  let pos = ref t.due_len in
+  while
+    !pos > t.due_head
+    &&
+    let o = Array.unsafe_get t.due (!pos - 1) in
+    let ot = get_time t o in
+    ot > time || (ot = time && get_seq t o > seq)
+  do
+    Array.unsafe_set t.due !pos (Array.unsafe_get t.due (!pos - 1));
+    decr pos
+  done;
+  Array.unsafe_set t.due !pos c;
+  t.due_len <- t.due_len + 1;
+  set_state t c st_due
+
+let due_remove t c =
+  let pos = ref t.due_head in
+  while t.due.(!pos) <> c do
+    incr pos
+  done;
+  Array.blit t.due (!pos + 1) t.due !pos (t.due_len - !pos - 1);
+  t.due_len <- t.due_len - 1
+
+(* --- wheel slots --- *)
+
+let[@inline] occ_set t level slot =
+  let w = (level * 8) + (slot lsr 5) in
+  Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (slot land 31)));
+  Array.unsafe_set t.summ level
+    (Array.unsafe_get t.summ level lor (1 lsl (slot lsr 5)))
+
+let[@inline] occ_clear t level slot =
+  let w = (level * 8) + (slot lsr 5) in
+  Array.unsafe_set t.occ w
+    (Array.unsafe_get t.occ w land lnot (1 lsl (slot land 31)));
+  if Array.unsafe_get t.occ w = 0 then
+    Array.unsafe_set t.summ level
+      (Array.unsafe_get t.summ level land lnot (1 lsl (slot lsr 5)))
+
+let wheel_push t c level slot =
+  let s = (level * slots_per_level) + slot in
+  let head = Array.unsafe_get t.slots s in
+  set_next t c head;
+  set_prev t c nil;
+  if head <> nil then set_prev t head c;
+  Array.unsafe_set t.slots s c;
+  set_slot t c s;
+  set_state t c st_wheel;
+  if head = nil then occ_set t level slot
+
+let wheel_unlink t c =
+  let s = get_slot t c in
+  let nx = get_next t c and pv = get_prev t c in
+  if nx <> nil then set_prev t nx pv;
+  if pv <> nil then set_next t pv nx
+  else begin
+    Array.unsafe_set t.slots s nx;
+    if nx = nil then occ_clear t (s lsr bits) (s land slot_mask)
+  end
+
+(* --- spill list: sorted, for events beyond the wheel span --- *)
+
+let spill_insert t c =
+  let time = get_time t c in
+  let seq = get_seq t c in
+  let prev = ref nil and cur = ref t.spill_head in
+  while
+    !cur <> nil
+    &&
+    let ot = get_time t !cur in
+    ot < time || (ot = time && get_seq t !cur < seq)
+  do
+    prev := !cur;
+    cur := get_next t !cur
+  done;
+  set_next t c !cur;
+  set_prev t c !prev;
+  if !cur <> nil then set_prev t !cur c;
+  if !prev <> nil then set_next t !prev c else t.spill_head <- c;
+  set_slot t c nil;
+  set_state t c st_spill
+
+let spill_unlink t c =
+  let nx = get_next t c and pv = get_prev t c in
+  if nx <> nil then set_prev t nx pv;
+  if pv <> nil then set_next t pv nx else t.spill_head <- nx
+
+(* Place a cell relative to the wheel position [t.cur]: into the due
+   buffer if its slot is at or behind the current one (run_until can
+   park the wheel ahead of the clock, so "behind" is reachable), else
+   into the innermost level whose parent slot it shares with [t.cur],
+   else into the spill list. *)
+let place t c =
+  let tick = get_tick t c in
+  let cur = t.cur in
+  if tick lsr sh0 <= cur lsr sh0 then due_insert t c
+  else if tick lsr sh1 = cur lsr sh1 then
+    wheel_push t c 0 ((tick lsr sh0) land slot_mask)
+  else if tick lsr sh2 = cur lsr sh2 then
+    wheel_push t c 1 ((tick lsr sh1) land slot_mask)
+  else if tick lsr sh3 = cur lsr sh3 then
+    wheel_push t c 2 ((tick lsr sh2) land slot_mask)
+  else if tick lsr sh4 = cur lsr sh4 then
+    wheel_push t c 3 ((tick lsr sh3) land slot_mask)
+  else spill_insert t c
+
+let unlink t c =
+  let st = get_state t c in
+  if st = st_wheel then wheel_unlink t c
+  else if st = st_due then due_remove t c
+  else if st = st_spill then spill_unlink t c
+
+(* --- advancing the wheel --- *)
+
+let[@inline] ctz word =
+  let x = ref (word land -word) and n = ref 0 in
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* First occupied slot with index > [after] at [level], or -1. The
+   summary word finds the first nonzero occupancy word in O(1), so a
+   miss costs two masked loads instead of a walk over all 8 words. *)
+let scan_occ t level after =
+  let from = after + 1 in
+  if from >= slots_per_level then -1
+  else begin
+    let base = level * 8 in
+    let w0 = from lsr 5 in
+    let word = Array.unsafe_get t.occ (base + w0) land (-1 lsl (from land 31)) in
+    if word <> 0 then (w0 lsl 5) + ctz word
+    else begin
+      let rest = Array.unsafe_get t.summ level land (-2 lsl w0) in
+      if rest = 0 then -1
+      else begin
+        let w = ctz rest in
+        (w lsl 5) + ctz (Array.unsafe_get t.occ (base + w))
+      end
     end
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && less t l !smallest then smallest := l;
-  if r < t.len && less t r !smallest then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+let take_slot t level slot =
+  let s = (level * slots_per_level) + slot in
+  let head = Array.unsafe_get t.slots s in
+  Array.unsafe_set t.slots s nil;
+  occ_clear t level slot;
+  head
+
+(* Refill the due buffer: advance [t.cur] to the next occupied level-0
+   slot and drain it, cascading an outer slot inward (or pulling the
+   next rotation's worth of spill cells in) when level 0 is exhausted.
+   Precondition: [t.len > 0]. *)
+let rec advance t =
+  if t.due_head >= t.due_len then begin
+    let s0 = scan_occ t 0 ((t.cur lsr sh0) land slot_mask) in
+    if s0 >= 0 then begin
+      t.cur <- ((t.cur lsr sh1) lsl sh1) lor (s0 lsl sh0);
+      let c = ref (take_slot t 0 s0) in
+      while !c <> nil do
+        let nx = get_next t !c in
+        due_insert t !c;
+        c := nx
+      done
+    end
+    else begin
+      let cascaded = ref false in
+      let level = ref 1 in
+      while (not !cascaded) && !level < levels do
+        let k = !level in
+        let s = scan_occ t k ((t.cur lsr shift k) land slot_mask) in
+        if s >= 0 then begin
+          let up = shift (k + 1) in
+          t.cur <- ((t.cur lsr up) lsl up) lor (s lsl shift k);
+          let head = take_slot t k s in
+          if head <> nil && get_next t head = nil then begin
+            (* Single cell: it is the earliest pending event overall
+               (this was the first occupied slot of the innermost
+               occupied level), so skip the level-by-level re-descent
+               and park the wheel right at its level-0 slot. *)
+            t.cur <- (get_tick t head lsr sh0) lsl sh0;
+            due_insert t head
+          end
+          else begin
+            let c = ref head in
+            while !c <> nil do
+              let nx = get_next t !c in
+              place t !c;
+              c := nx
+            done
+          end;
+          cascaded := true
+        end
+        else incr level
+      done;
+      if not !cascaded then begin
+        (* Wheel empty: jump to the spill head's rotation and pull in
+           every spill cell that now fits the wheel span. *)
+        t.cur <- get_tick t t.spill_head;
+        let c = ref t.spill_head in
+        while !c <> nil && get_tick t !c lsr sh4 = t.cur lsr sh4 do
+          let nx = get_next t !c in
+          spill_unlink t !c;
+          place t !c;
+          c := nx
+        done
+      end;
+      advance t
+    end
   end
 
-let grow t =
-  let cap = Array.length t.times in
-  let times = Array.make (2 * cap) 0. in
-  let seqs = Array.make (2 * cap) 0 in
-  let fns = Array.make (2 * cap) nop in
-  Array.blit t.times 0 times 0 t.len;
-  Array.blit t.seqs 0 seqs 0 t.len;
-  Array.blit t.fns 0 fns 0 t.len;
-  t.times <- times;
-  t.seqs <- seqs;
-  t.fns <- fns
+(* --- scheduling --- *)
 
-let schedule_at ?(src = "other") t time fn =
-  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
-  (* Profiling wraps at scheduling time, not in the dispatch loop, so
-     the heap stays three parallel arrays and the profiling-off cost is
-     this one ref read. *)
-  let fn =
-    if Repro_obs.Profile.enabled () then fun () ->
-      Repro_obs.Profile.dispatch ~src fn
-    else fn
-  in
-  if t.len = Array.length t.times then grow t;
-  let i = t.len in
-  t.times.(i) <- time;
-  t.seqs.(i) <- t.next_seq;
-  t.fns.(i) <- fn;
+let[@inline] schedule_cell t time =
+  let c = alloc_cell t in
+  set_time t c time;
+  set_period t c 0.;
+  set_kind t c 0;
+  set_tick t c (tick_of_time time);
+  set_seq t c t.next_seq;
   t.next_seq <- t.next_seq + 1;
+  place t c;
   t.len <- t.len + 1;
   if t.len > t.max_depth then t.max_depth <- t.len;
-  sift_up t i
+  c
 
-let schedule_after ?src t delay fn = schedule_at ?src t (t.clock +. delay) fn
+(* [time -. time] is 0 exactly for finite floats, nan otherwise. *)
+let[@inline] check_time t time =
+  if time -. time <> 0. then invalid_arg "Sim.schedule_at: non-finite time";
+  if time < Float.Array.unsafe_get t.clk 0 then
+    invalid_arg "Sim.schedule_at: time in the past"
 
-let pop t =
-  let fn = t.fns.(0) and time = t.times.(0) in
-  t.len <- t.len - 1;
-  if t.len > 0 then begin
-    t.times.(0) <- t.times.(t.len);
-    t.seqs.(0) <- t.seqs.(t.len);
-    t.fns.(0) <- t.fns.(t.len)
+(* The out-of-line scheduler bodies take the deadline through [t.stage]
+   rather than a float parameter: the inlined wrappers below store the
+   caller's (unboxed) float there, so no box is ever materialised on
+   the schedule path. *)
+let schedule_staged ?(src = "other") t fn =
+  let time = Float.Array.unsafe_get t.stage 0 in
+  check_time t time;
+  (* Profiling wraps at scheduling time, not in the dispatch loop, so
+     the profiling-off cost is this one ref read. *)
+  let fn =
+    if Profile.enabled () then fun () -> Profile.dispatch ~src fn else fn
+  in
+  let c = schedule_cell t time in
+  Array.unsafe_set t.fn_ c fn;
+  handle_of t c
+
+let[@inline] schedule_at ?src t time fn =
+  Float.Array.unsafe_set t.stage 0 time;
+  schedule_staged ?src t fn
+
+let[@inline] schedule_after ?src t delay fn =
+  Float.Array.unsafe_set t.stage 0 (Float.Array.unsafe_get t.clk 0 +. delay);
+  schedule_staged ?src t fn
+
+let schedule_pkt_staged ?(src = "other") t fn p =
+  let time = Float.Array.unsafe_get t.stage 0 in
+  check_time t time;
+  let c = schedule_cell t time in
+  if Profile.enabled () then
+    Array.unsafe_set t.fn_ c (fun () -> Profile.dispatch ~src (fun () -> fn p))
+  else begin
+    set_kind t c 1;
+    Array.unsafe_set t.pfn_ c fn;
+    Array.unsafe_set t.pkt_ c p
   end;
-  t.fns.(t.len) <- nop;
-  sift_down t 0;
-  (time, fn)
+  handle_of t c
+
+let[@inline] schedule_pkt_at ?src t time fn p =
+  Float.Array.unsafe_set t.stage 0 time;
+  schedule_pkt_staged ?src t fn p
+
+let[@inline] schedule_pkt_after ?src t delay fn p =
+  Float.Array.unsafe_set t.stage 0 (Float.Array.unsafe_get t.clk 0 +. delay);
+  schedule_pkt_staged ?src t fn p
+
+let every ?(src = "other") ?start t period fn =
+  if not (period -. period = 0. && period > 0.) then
+    invalid_arg "Sim.every: period must be finite and positive";
+  let start =
+    match start with
+    | Some s -> s
+    | None -> Float.Array.unsafe_get t.clk 0 +. period
+  in
+  check_time t start;
+  let fn =
+    if Profile.enabled () then fun () -> Profile.dispatch ~src fn else fn
+  in
+  let c = schedule_cell t start in
+  set_period t c period;
+  t.fn_.(c) <- fn;
+  handle_of t c
+
+(* --- timer operations --- *)
+
+let timer_active t h =
+  let c = cell_of t h in
+  c <> nil && get_state t c <> st_cancelled
+
+let timer_cancel t h =
+  let c = cell_of t h in
+  if c <> nil then
+    if get_state t c = st_running then
+      (* A periodic timer cancelling itself mid-callback: the dispatcher
+         already took it off the books; just stop the re-arm. *)
+      set_state t c st_cancelled
+    else if get_state t c <> st_cancelled then begin
+      unlink t c;
+      t.len <- t.len - 1;
+      free_cell t c
+    end
+
+let reschedule_staged t h =
+  let time = Float.Array.unsafe_get t.stage 0 in
+  let c = cell_of t h in
+  if c = nil then invalid_arg "Sim.Timer.reschedule: timer not active";
+  if get_period t c > 0. then
+    invalid_arg "Sim.Timer.reschedule: timer is periodic";
+  if time -. time <> 0. then
+    invalid_arg "Sim.Timer.reschedule: non-finite time";
+  if time < Float.Array.unsafe_get t.clk 0 then
+    invalid_arg "Sim.Timer.reschedule: time in the past";
+  unlink t c;
+  set_time t c time;
+  set_tick t c (tick_of_time time);
+  set_seq t c t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  place t c
+
+module Timer = struct
+  type nonrec t = int
+
+  let none = -1
+  let active = timer_active
+  let cancel = timer_cancel
+
+  let[@inline] reschedule t h time =
+    Float.Array.unsafe_set t.stage 0 time;
+    reschedule_staged t h
+end
+
+(* --- dispatch --- *)
+
+let dispatch t =
+  let c = Array.unsafe_get t.due t.due_head in
+  t.due_head <- t.due_head + 1;
+  let time = get_time t c in
+  if Invariant.enabled () then
+    Invariant.require
+      (time >= Float.Array.unsafe_get t.clk 0)
+      "Sim: dispatch clock went backward";
+  Float.Array.unsafe_set t.clk 0 time;
+  t.processed <- t.processed + 1;
+  t.len <- t.len - 1;
+  let period = get_period t c in
+  if period > 0. then begin
+    set_state t c st_running;
+    (Array.unsafe_get t.fn_ c) ();
+    if get_state t c = st_running then begin
+      (* Re-arm in place: same cell, same handle, fresh seq — taken
+         exactly where the old tail-recursive [schedule_after] idiom
+         took its seq, after the callback body. *)
+      let time' = time +. period in
+      set_time t c time';
+      set_tick t c (tick_of_time time');
+      set_seq t c t.next_seq;
+      t.next_seq <- t.next_seq + 1;
+      place t c;
+      t.len <- t.len + 1;
+      if t.len > t.max_depth then t.max_depth <- t.len
+    end
+    else free_cell t c
+  end
+  else if get_kind t c = 1 then begin
+    let pfn = Array.unsafe_get t.pfn_ c in
+    let pkt = Array.unsafe_get t.pkt_ c in
+    (* Free before running so the callback can reuse the cell at once;
+       its handle is already stale (generation bumped). *)
+    free_cell t c;
+    pfn pkt
+  end
+  else begin
+    let fn = Array.unsafe_get t.fn_ c in
+    free_cell t c;
+    fn ()
+  end
 
 let run_until t horizon =
   let continue = ref true in
-  while !continue do
-    if t.len = 0 || t.times.(0) > horizon then continue := false
-    else begin
-      let time, fn = pop t in
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      fn ()
-    end
+  while !continue && t.len > 0 do
+    if t.due_head >= t.due_len then advance t;
+    (* peek inline: calling a float-returning helper would box the
+       peeked time once per dispatched event *)
+    if get_time t (Array.unsafe_get t.due t.due_head) > horizon then
+      continue := false
+    else dispatch t
   done;
-  if t.clock < horizon then t.clock <- horizon
+  if Float.Array.unsafe_get t.clk 0 < horizon then
+    Float.Array.unsafe_set t.clk 0 horizon
 
 let run t =
   while t.len > 0 do
-    let time, fn = pop t in
-    t.clock <- time;
-    t.processed <- t.processed + 1;
-    fn ()
+    if t.due_head >= t.due_len then advance t;
+    dispatch t
   done

@@ -7,6 +7,8 @@ type conn = {
   cc : Repro_cc.Cc_types.t;
   flow_id : int;
   mutable subs : sub array;
+  mutable views : Repro_cc.Cc_types.subflow_view array;
+      (* one long-lived view per subflow, refreshed in place on use *)
   mutable unassigned : int;  (* packets not yet assigned to a subflow; -1 = infinite *)
   mutable completed : bool;
   mutable completion_time : float option;
@@ -34,8 +36,8 @@ and sub = {
   mutable srtt : float;
   mutable rttvar : float;
   mutable rto : float;
-  mutable rto_deadline : float;
-  mutable rto_armed : bool;
+  mutable rto_timer : Sim.Timer.t;
+  mutable rto_fire : unit -> unit;  (* persistent RTO callback *)
   mutable retransmits : int;
   mutable timeouts : int;
   sacked : (int, unit) Hashtbl.t;  (* scoreboard of SACKed sequences *)
@@ -46,7 +48,8 @@ and sub = {
   ooo : (int, unit) Hashtbl.t;
   mutable delack_count : int;  (* in-order segments not yet acknowledged *)
   mutable delack_echo : float;  (* timestamp to echo when the delack flushes *)
-  mutable delack_timer : bool;
+  mutable delack_timer : Sim.Timer.t;
+  mutable delack_fire : unit -> unit;  (* persistent delayed-ACK callback *)
 }
 
 let min_ssthresh sub =
@@ -106,13 +109,15 @@ let emit_cwnd sub =
        })
 
 let views conn =
-  Array.map
-    (fun s ->
-      {
-        Repro_cc.Cc_types.cwnd = s.cwnd;
-        rtt = (if s.srtt > 0. then s.srtt else 0.1);
-      })
-    conn.subs
+  let vs = conn.views in
+  let subs = conn.subs in
+  for i = 0 to Array.length subs - 1 do
+    let s = subs.(i) in
+    let v = vs.(i) in
+    v.Repro_cc.Cc_types.cwnd <- s.cwnd;
+    v.Repro_cc.Cc_types.rtt <- (if s.srtt > 0. then s.srtt else 0.1)
+  done;
+  vs
 
 (* --- sending ------------------------------------------------------- *)
 
@@ -138,33 +143,29 @@ let purge_sacked sub =
     (fun seq () -> if seq >= sub.snd_una then Some () else None)
     sub.sacked
 
-(* RFC 6298 timer management: the deadline is restarted when new data is
-   acknowledged ([restart_rto]) and merely armed, without pushing an
-   existing deadline, when data is transmitted ([ensure_rto]). *)
-let rec restart_rto sub =
-  sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
-  ensure_rto sub
+(* RFC 6298 timer management on a single persistent timer per subflow:
+   [restart_rto] moves the deadline (or arms the timer if idle) when new
+   data is acknowledged; [ensure_rto] arms it, without pushing an
+   existing deadline, when data is transmitted. The old idiom of
+   scheduling an orphan closure and re-checking a stale deadline at fire
+   time is gone: the timer's deadline is always the real one. *)
+let restart_rto sub =
+  let sim = sub.conn.sim in
+  let deadline = Sim.now sim +. sub.rto in
+  if Sim.Timer.active sim sub.rto_timer then
+    Sim.Timer.reschedule sim sub.rto_timer deadline
+  else
+    sub.rto_timer <- Sim.schedule_at ~src:"tcp.rto" sim deadline sub.rto_fire
 
-and ensure_rto sub =
-  if not sub.rto_armed then begin
-    if sub.rto_deadline <= Sim.now sub.conn.sim then
-      sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
-    sub.rto_armed <- true;
-    let rec fire () =
-      sub.rto_armed <- false;
-      if (not sub.conn.completed) && flight sub > 0 then begin
-        let now = Sim.now sub.conn.sim in
-        if now +. 1e-12 >= sub.rto_deadline then on_timeout sub
-        else begin
-          sub.rto_armed <- true;
-          Sim.schedule_at ~src:"tcp.rto" sub.conn.sim sub.rto_deadline fire
-        end
-      end
-    in
-    Sim.schedule_at ~src:"tcp.rto" sub.conn.sim sub.rto_deadline fire
-  end
+let ensure_rto sub =
+  let sim = sub.conn.sim in
+  if not (Sim.Timer.active sim sub.rto_timer) then
+    sub.rto_timer <-
+      Sim.schedule_at ~src:"tcp.rto" sim
+        (Sim.now sim +. sub.rto)
+        sub.rto_fire
 
-and on_timeout sub =
+let on_timeout sub =
   let traced = Trace.enabled () in
   let from_state = if traced then trace_state sub else Trace.Slow_start in
   if traced then
@@ -224,8 +225,7 @@ let rec try_send sub =
      && flight sub < effective_window sub then
     if can_assign sub then begin
       (* data after an idle period gets a fresh timer *)
-      if flight sub = 0 then
-        sub.rto_deadline <- Sim.now sub.conn.sim +. sub.rto;
+      if flight sub = 0 then restart_rto sub;
       let seq = sub.snd_nxt in
       sub.snd_nxt <- sub.snd_nxt + 1;
       if Hashtbl.mem sub.sacked seq then
@@ -279,6 +279,11 @@ let check_completion conn =
     if acked >= size && not conn.completed then begin
       conn.completed <- true;
       conn.completion_time <- Some (Sim.now conn.sim);
+      Array.iter
+        (fun s ->
+          Sim.Timer.cancel conn.sim s.rto_timer;
+          Sim.Timer.cancel conn.sim s.delack_timer)
+        conn.subs;
       match conn.on_complete with
       | Some f -> f (Sim.now conn.sim)
       | None -> ()
@@ -397,16 +402,22 @@ let record_sack sub = function
     done
 
 let ack_handler sub (p : Packet.t) =
-  match p.kind with
+  (match p.kind with
   | Packet.Data -> assert false
-  | Packet.Ack { ackno; echo; sack } ->
+  | Packet.Ack ->
     if not sub.conn.completed then begin
-      sample_rtt sub echo;
-      record_sack sub sack;
+      let ackno = p.ackno in
+      sample_rtt sub p.times.echo;
+      record_sack sub p.sack;
+      (* the packet goes back to the pool before the ACK is processed:
+         nothing below reads it, and the cell is free for reuse by
+         whatever try_send transmits *)
+      Packet.free p;
       if ackno > sub.snd_una then on_new_ack sub ackno
       else if ackno = sub.snd_una then on_dup_ack sub;
       try_send sub
     end
+    else Packet.free p)
 
 (* --- receiver ------------------------------------------------------ *)
 
@@ -432,19 +443,21 @@ let send_ack sub ~echo ~sack =
 (* RFC 1122 delayed-ACK timer: flush a pending acknowledgment within
    100 ms even if the second segment never arrives. *)
 let arm_delack_timer sub =
-  if not sub.delack_timer then begin
-    sub.delack_timer <- true;
-    Sim.schedule_after ~src:"tcp.delack" sub.conn.sim 0.1 (fun () ->
-        sub.delack_timer <- false;
-        if sub.delack_count > 0 then
-          send_ack sub ~echo:sub.delack_echo ~sack:None)
-  end
+  let sim = sub.conn.sim in
+  if not (Sim.Timer.active sim sub.delack_timer) then
+    sub.delack_timer <-
+      Sim.schedule_after ~src:"tcp.delack" sim 0.1 sub.delack_fire
 
 let sink_handler sub (p : Packet.t) =
   match p.kind with
-  | Packet.Ack _ -> assert false
+  | Packet.Ack -> assert false
   | Packet.Data ->
-    let in_order = p.seq = sub.rcv_cum in
+    let seq = p.seq in
+    let sent_at = p.times.sent_at in
+    (* the sink owns the segment; recycle it before building the ACK so
+       the ACK reuses the same pool cell *)
+    Packet.free p;
+    let in_order = seq = sub.rcv_cum in
     if in_order then begin
       sub.rcv_cum <- sub.rcv_cum + 1;
       while Hashtbl.mem sub.ooo sub.rcv_cum do
@@ -452,19 +465,19 @@ let sink_handler sub (p : Packet.t) =
         sub.rcv_cum <- sub.rcv_cum + 1
       done
     end
-    else if p.seq > sub.rcv_cum && not (Hashtbl.mem sub.ooo p.seq) then
-      Hashtbl.add sub.ooo p.seq ();
+    else if seq > sub.rcv_cum && not (Hashtbl.mem sub.ooo seq) then
+      Hashtbl.add sub.ooo seq ();
     let gap = Hashtbl.length sub.ooo > 0 in
     if sub.conn.delayed_ack && in_order && not gap then begin
       sub.delack_count <- sub.delack_count + 1;
-      sub.delack_echo <- p.sent_at;
-      if sub.delack_count >= 2 then send_ack sub ~echo:p.sent_at ~sack:None
+      sub.delack_echo <- sent_at;
+      if sub.delack_count >= 2 then send_ack sub ~echo:sent_at ~sack:None
       else arm_delack_timer sub
     end
     else
       (* out-of-order data, duplicates and hole-filling segments are
          acknowledged immediately, carrying SACK information *)
-      send_ack sub ~echo:p.sent_at ~sack:(sack_block_around sub p.seq)
+      send_ack sub ~echo:sent_at ~sack:(sack_block_around sub seq)
 
 (* --- construction --------------------------------------------------- *)
 
@@ -478,6 +491,7 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
       cc;
       flow_id;
       subs = [||];
+      views = [||];
       unassigned = (match size_pkts with None -> -1 | Some s -> s);
       completed = false;
       completion_time = None;
@@ -514,8 +528,8 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
         srtt = 0.;
         rttvar = 0.;
         rto = 1.;
-        rto_deadline = 0.;
-        rto_armed = false;
+        rto_timer = Sim.Timer.none;
+        rto_fire = ignore;
         retransmits = 0;
         timeouts = 0;
         sacked = Hashtbl.create 64;
@@ -525,25 +539,39 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
         ooo = Hashtbl.create 64;
         delack_count = 0;
         delack_echo = 0.;
-        delack_timer = false;
+        delack_timer = Sim.Timer.none;
+        delack_fire = ignore;
       }
     in
     sub.fwd_route <- Array.append path.fwd [| sink_handler sub |];
     sub.rev_route <- Array.append path.rev [| ack_handler sub |];
+    sub.rto_fire <-
+      (fun () ->
+        if (not sub.conn.completed) && flight sub > 0 then on_timeout sub);
+    sub.delack_fire <-
+      (fun () ->
+        if sub.delack_count > 0 then
+          send_ack sub ~echo:sub.delack_echo ~sack:None);
     sub
   in
   conn.subs <- Array.mapi make_sub paths;
+  conn.views <-
+    Array.map
+      (fun _ -> { Repro_cc.Cc_types.cwnd = 0.; rtt = 0.1 })
+      conn.subs;
   (* the first subflow starts immediately; additional subflows join after
      the MP_JOIN handshake delay, as in real MPTCP *)
   Array.iteri
     (fun idx sub ->
       let at = if idx = 0 then start else start +. subflow_join_delay in
-      Sim.schedule_at ~src:"tcp.start" sim at (fun () ->
-          if Trace.enabled () then
-            Trace.emit
-              (Trace.Subflow_add
-                 { time = Sim.now sim; flow = conn.flow_id; subflow = idx });
-          try_send sub))
+      ignore
+        (Sim.schedule_at ~src:"tcp.start" sim at (fun () ->
+             if Trace.enabled () then
+               Trace.emit
+                 (Trace.Subflow_add
+                    { time = Sim.now sim; flow = conn.flow_id; subflow = idx });
+             try_send sub)
+          : Sim.Timer.t))
     conn.subs;
   conn
 

@@ -19,14 +19,16 @@ let measure_conns ~sim ~warmup ~duration conns =
   let per_sf =
     Array.map (fun c -> Array.make (Tcp.subflow_count c) 0) conns_a
   in
-  Sim.schedule_at sim warmup (fun () ->
-      Array.iteri
-        (fun i c ->
-          totals.(i) <- Tcp.total_acked c;
-          Array.iteri
-            (fun s _ -> per_sf.(i).(s) <- Tcp.subflow_acked c s)
-            per_sf.(i))
-        conns_a);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim warmup (fun () ->
+         Array.iteri
+           (fun i c ->
+             totals.(i) <- Tcp.total_acked c;
+             Array.iteri
+               (fun s _ -> per_sf.(i).(s) <- Tcp.subflow_acked c s)
+               per_sf.(i))
+           conns_a)
+      : Sim.Timer.t);
   Sim.run_until sim duration;
   let window = duration -. warmup in
   List.mapi

@@ -94,7 +94,10 @@ let run cfg =
     end
   done;
   let core = Repro_topology.Fattree.core_queues tree in
-  Sim.schedule_at sim cfg.warmup (fun () -> List.iter Queue.reset_stats core);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         List.iter Queue.reset_stats core)
+      : Sim.Timer.t);
   let measured =
     Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration
       !long_conns

@@ -57,8 +57,10 @@ let run cfg =
       flows
   in
   let core = Repro_topology.Fattree.core_queues tree in
-  Sim.schedule_at sim cfg.warmup (fun () ->
-      List.iter Queue.reset_stats (Repro_topology.Fattree.all_queues tree));
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         List.iter Queue.reset_stats (Repro_topology.Fattree.all_queues tree))
+      : Sim.Timer.t);
   let measured =
     Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration conns
   in

@@ -67,24 +67,30 @@ let run cfg =
           (cfg.shock_at +. (0.1 *. float_of_int i))
           (100 + i) None)
   in
-  Sim.schedule_at sim cfg.relief_at (fun () ->
-      List.iter (fun c -> Tcp.set_subflow_enabled c 0 false) shock_flows);
+  ignore
+    (Sim.schedule_at ~src:"responsiveness.relief" sim cfg.relief_at (fun () ->
+         List.iter (fun c -> Tcp.set_subflow_enabled c 0 false) shock_flows)
+      : Sim.Timer.t);
   (* sample the multipath user's path-2 window share *)
   let share_ts = Repro_stats.Timeseries.create () in
-  let rec sample () =
+  let sample_timer = ref Sim.Timer.none in
+  let sample () =
     let w1 = Tcp.subflow_cwnd mp 0 and w2 = Tcp.subflow_cwnd mp 1 in
     Repro_stats.Timeseries.add share_ts ~time:(Sim.now sim)
       (w2 /. Stdlib.max (w1 +. w2) 1e-9);
-    if Sim.now sim +. 0.2 < cfg.duration then Sim.schedule_after sim 0.2 sample
+    if not (Sim.now sim +. 0.2 < cfg.duration) then
+      Sim.Timer.cancel sim !sample_timer
   in
-  Sim.schedule_at sim 1. sample;
+  sample_timer := Sim.every ~src:"responsiveness.sample" ~start:1. sim 0.2 sample;
   (* goodput share probes *)
   let acked2_at = ref [] in
   List.iter
     (fun t ->
-      Sim.schedule_at sim t (fun () ->
-          acked2_at :=
-            (t, Tcp.subflow_acked mp 1, Tcp.total_acked mp) :: !acked2_at))
+      ignore
+        (Sim.schedule_at ~src:"responsiveness.probe" sim t (fun () ->
+             acked2_at :=
+               (t, Tcp.subflow_acked mp 1, Tcp.total_acked mp) :: !acked2_at)
+          : Sim.Timer.t))
     [ cfg.shock_at /. 2.; cfg.shock_at; cfg.relief_at; cfg.duration -. 0.1 ];
   Sim.run_until sim cfg.duration;
   let share_between t0 t1 =

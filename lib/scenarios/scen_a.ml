@@ -76,9 +76,11 @@ let run cfg =
         Tcp.create ~sim ~cc:(Repro_cc.Reno.create ()) ~paths
           ~start:(next_start ()) ~flow_id:(cfg.n1 + i) ())
   in
-  Sim.schedule_at sim cfg.warmup (fun () ->
-      Queue.reset_stats q1;
-      Queue.reset_stats q2);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         Queue.reset_stats q1;
+         Queue.reset_stats q2)
+      : Sim.Timer.t);
   let measured =
     Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration
       (type1 @ type2)

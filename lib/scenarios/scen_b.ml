@@ -69,9 +69,11 @@ let run cfg =
         Tcp.create ~sim ~cc ~paths ~start:(Rng.uniform rng 2.)
           ~flow_id:(cfg.n + i) ())
   in
-  Sim.schedule_at sim cfg.warmup (fun () ->
-      Queue.reset_stats qx;
-      Queue.reset_stats qt);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         Queue.reset_stats qx;
+         Queue.reset_stats qt)
+      : Sim.Timer.t);
   let measured =
     Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration
       (blue @ red)

@@ -82,9 +82,11 @@ let run cfg =
         Tcp.create ~sim ~cc:(Repro_cc.Reno.create ()) ~paths
           ~start:(Rng.uniform rng 2.) ~flow_id:(cfg.n1 + i) ())
   in
-  Sim.schedule_at sim cfg.warmup (fun () ->
-      Queue.reset_stats ap1;
-      Queue.reset_stats ap2);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         Queue.reset_stats ap1;
+         Queue.reset_stats ap2)
+      : Sim.Timer.t);
   let measured =
     Common.measure_conns ~sim ~warmup:cfg.warmup ~duration:cfg.duration
       (multipath @ single)

@@ -81,7 +81,8 @@ let run cfg =
   let alpha1 = Repro_stats.Timeseries.create () in
   let alpha2 = Repro_stats.Timeseries.create () in
   let flips = ref 0 and order = ref 0 in
-  let rec sample () =
+  let sample_timer = ref Sim.Timer.none in
+  let sample () =
     let t = Sim.now sim in
     let cw1 = Tcp.subflow_cwnd mp 0 and cw2 = Tcp.subflow_cwnd mp 1 in
     Repro_stats.Timeseries.add w1 ~time:t cw1;
@@ -95,15 +96,19 @@ let run cfg =
     in
     if new_order <> !order && !order <> 0 then incr flips;
     order := new_order;
-    if t +. cfg.sample_period <= cfg.duration then
-      Sim.schedule_after sim cfg.sample_period sample
+    if not (t +. cfg.sample_period <= cfg.duration) then
+      Sim.Timer.cancel sim !sample_timer
   in
-  Sim.schedule_at sim 0. sample;
+  sample_timer :=
+    Sim.every ~src:"two_bottleneck.sample" ~start:0. sim cfg.sample_period
+      sample;
   let acked1 = ref 0 and acked2 = ref 0 in
   let warmup = cfg.duration /. 6. in
-  Sim.schedule_at sim warmup (fun () ->
-      acked1 := Tcp.subflow_acked mp 0;
-      acked2 := Tcp.subflow_acked mp 1);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim warmup (fun () ->
+         acked1 := Tcp.subflow_acked mp 0;
+         acked2 := Tcp.subflow_acked mp 1)
+      : Sim.Timer.t);
   Sim.run_until sim cfg.duration;
   let window = cfg.duration -. warmup in
   let mbps acked snap =

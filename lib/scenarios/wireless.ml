@@ -68,12 +68,14 @@ let run cfg =
       ~paths ~flow_id:0 ()
   in
   let snap = Array.make 2 0 in
-  Sim.schedule_at sim cfg.warmup (fun () ->
-      Array.iteri
-        (fun i _ ->
-          if i < Tcp.subflow_count conn then
-            snap.(i) <- Tcp.subflow_acked conn i)
-        snap);
+  ignore
+    (Sim.schedule_at ~src:"scenario.warmup" sim cfg.warmup (fun () ->
+         Array.iteri
+           (fun i _ ->
+             if i < Tcp.subflow_count conn then
+               snap.(i) <- Tcp.subflow_acked conn i)
+           snap)
+      : Sim.Timer.t);
   Sim.run_until sim cfg.duration;
   let window = cfg.duration -. cfg.warmup in
   let mbps idx =

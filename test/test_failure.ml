@@ -5,6 +5,14 @@
 open Mptcp_repro.Netsim
 open Mptcp_repro.Cc
 
+(* Timer handles are discarded in tests: scheduling here is fire-and-forget. *)
+module Sim = struct
+  include Sim
+
+  let schedule_at ?src sim t f = ignore (Sim.schedule_at ?src sim t f : Sim.Timer.t)
+  let schedule_after ?src sim d f = ignore (Sim.schedule_after ?src sim d f : Sim.Timer.t)
+end
+
 (* a controllable on/off valve placed on a path *)
 let make_gate () =
   let up = ref true in

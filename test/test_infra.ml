@@ -4,6 +4,14 @@
 open Mptcp_repro.Netsim
 open Mptcp_repro.Topology
 
+(* Timer handles are discarded in tests: scheduling here is fire-and-forget. *)
+module Sim = struct
+  include Sim
+
+  let schedule_at ?src sim t f = ignore (Sim.schedule_at ?src sim t f : Sim.Timer.t)
+  let schedule_after ?src sim d f = ignore (Sim.schedule_after ?src sim d f : Sim.Timer.t)
+end
+
 let check_close eps = Alcotest.(check (float eps))
 
 (* --- Graph ---------------------------------------------------------- *)

@@ -6,6 +6,7 @@ let () =
       ("equilibrium", Test_equilibrium.suite);
       ("cc", Test_cc.suite);
       ("netsim", Test_netsim.suite);
+      ("timer", Test_timer.suite);
       ("tcp", Test_tcp.suite);
       ("topology", Test_topology.suite);
       ("scenarios", Test_scenarios.suite);

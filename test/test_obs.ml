@@ -3,6 +3,14 @@
    and — crucially — arming tracing never changes simulation results. *)
 
 open Repro_netsim
+
+(* Timer handles are discarded in tests: scheduling here is fire-and-forget. *)
+module Sim = struct
+  include Sim
+
+  let schedule_at ?src sim t f = ignore (Sim.schedule_at ?src sim t f : Sim.Timer.t)
+  let schedule_after ?src sim d f = ignore (Sim.schedule_after ?src sim d f : Sim.Timer.t)
+end
 module Trace = Repro_obs.Trace
 module Meter = Repro_obs.Meter
 module Snapshot = Repro_obs.Snapshot
