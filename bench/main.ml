@@ -846,7 +846,7 @@ let calibration_work () =
 
 let calibration_name = "calibrate: int work"
 
-let micro_estimates () =
+let micro_estimates_once () =
   let open Bechamel in
   let calibrate =
     Test.make ~name:calibration_name
@@ -935,6 +935,26 @@ let micro_estimates () =
     results;
   List.sort compare !rows
 
+(* Best-of-N over whole Bechamel passes: OLS estimates occasionally spike
+   1.5-2x under scheduler interference, and noise only ever adds time, so
+   the per-test minimum is the robust statistic. This is what lets the
+   snapshot gate hold a 12% tolerance instead of 15%. *)
+let micro_estimates ?(reps = 1) () =
+  let rec go i acc =
+    if i >= reps then acc
+    else
+      let merged =
+        List.map2
+          (fun (name, est) (name', est') ->
+            assert (String.equal name name');
+            (name, Stdlib.min est est'))
+          acc
+          (micro_estimates_once ())
+      in
+      go (i + 1) merged
+  in
+  go 1 (micro_estimates_once ())
+
 let micro () =
   section "Micro-benchmarks (Bechamel)";
   List.iter
@@ -959,7 +979,7 @@ let scenario_wall_entries () =
     in
     go 0 infinity
   in
-  let reps = if !quick then 2 else 3 in
+  let reps = 4 in
   let sim_s = 40. in
   let scen_a () =
     ignore
@@ -996,7 +1016,7 @@ let take_snapshot () =
             ~units:"ns/run"
         else Obs.Snapshot.entry ~name:("micro/" ^ name) ~value:est
             ~units:"ns/run")
-      (micro_estimates ())
+      (micro_estimates ~reps:3 ())
     @ scenario_wall_entries ()
   in
   Obs.Snapshot.v ~quick:!quick entries
@@ -1083,7 +1103,7 @@ let targets : (string * string * (unit -> unit)) list =
 let () =
   let snapshot_path = ref None in
   let baseline_path = ref None in
-  let tolerance = ref 0.15 in
+  let tolerance = ref 0.12 in
   let usage () =
     print_endline
       "usage: bench [--quick] [--list] [--snapshot FILE [--baseline FILE] \

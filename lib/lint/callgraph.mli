@@ -1,0 +1,37 @@
+(** Cross-module call graph over the pass-1 summaries.
+
+    Nodes are the toplevel bindings of every parsed file, ordered by
+    (path, source order); the array index is the node id, so walks in
+    id order are deterministic. Resolution is name-based — same-file
+    mentions respect shadowing by line, [M.Sub.f] qualifiers are
+    dropped from the left until a summary matches, and a caller in the
+    same directory wins when two files compile to the same module name.
+    Unresolved names (stdlib, locals) produce no edge; indirect calls
+    through closure fields are opaque by design (see docs/LINT.md). *)
+
+type edge = {
+  target : int;
+  eloc : Location.t;  (** call site (an unguarded one when any exists) *)
+  hot : bool;  (** reached by at least one unguarded call *)
+  min_args : int;
+      (** fewest non-optional args over unguarded real applications of
+          the target; [-1] when the target is only mentioned bare *)
+}
+
+type t
+
+val build : (string * Summary.node list) list -> t
+(** [build files] over [(path, summaries)] pairs, one per parsed file. *)
+
+val node : t -> int -> Summary.node
+val size : t -> int
+
+val edges : t -> int -> edge list
+(** Outgoing edges, deduped per target (an unguarded call dominates a
+    guarded one to the same target), sorted by target id. *)
+
+val line_of : Location.t -> int
+
+val dump : t -> string
+(** Human-readable listing for [--graph-dump]: every node with its
+    roots/mutable tags and resolved out-edges. *)

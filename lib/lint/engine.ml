@@ -32,28 +32,73 @@ let rec dedup_sorted = function
   | a :: rest -> a :: dedup_sorted rest
   | [] -> []
 
-let lint_sources sources =
-  let structures = ref [] in
+(* Pass 1 shared by linting and [--graph-dump]: parse everything once,
+   splitting into per-file parse findings and parsed structures. *)
+let parse_all sources =
+  List.fold_left
+    (fun (structures, failures) src ->
+      match parse src with
+      | Failed f -> (structures, f :: failures)
+      | Intf -> (structures, failures)
+      | Impl structure -> ((src.path, structure) :: structures, failures))
+    ([], []) sources
+  |> fun (structures, failures) -> (List.rev structures, List.rev failures)
+
+let graph_of_structures structures =
+  Callgraph.build
+    (List.map
+       (fun (path, structure) -> (path, Summary.of_structure ~path structure))
+       structures)
+
+let graph_of_sources sources =
+  let structures, _ = parse_all sources in
+  graph_of_structures structures
+
+let lint_sources ?(extra_alloc_free_roots = []) sources =
+  let structures, parse_failures = parse_all sources in
+  (* pass 1: the per-file catalogue, R5 across files *)
   let raw =
-    List.concat_map
-      (fun src ->
-        match parse src with
-        | Failed f -> [ f ]
-        | Intf -> []
-        | Impl structure ->
-          structures := (src.path, structure) :: !structures;
-          Rules.check_structure ~path:src.path structure)
-      sources
+    parse_failures
+    @ List.concat_map
+        (fun (path, structure) -> Rules.check_structure ~path structure)
+        structures
+    @ Rules.check_registry ~sources:structures
   in
-  let raw = raw @ Rules.check_registry ~sources:(List.rev !structures) in
+  (* pass 2: summaries -> call graph -> interprocedural R9/R10/R11 *)
+  let g = graph_of_structures structures in
+  let raw =
+    raw
+    @ Dataflow.check_alloc_free ~extra_roots:extra_alloc_free_roots g
+    @ Dataflow.check_domain_safety g
+    @ Dataflow.check_determinism_taint g
+  in
+  (* Suppression: a whole-program finding is waived by a directive at
+     its own site or by one at its chain's root entry point. *)
+  let sup_by_file = Hashtbl.create 64 in
+  List.iter
+    (fun src ->
+      Hashtbl.replace sup_by_file src.path
+        (Suppress.scan ~file:src.path src.content))
+    sources;
+  let waived (f : Finding.t) =
+    (match Hashtbl.find_opt sup_by_file f.Finding.file with
+     | Some sup -> Suppress.permits sup f
+     | None -> false)
+    ||
+    match f.Finding.root with
+    | None -> false
+    | Some (rfile, rline) -> (
+      match Hashtbl.find_opt sup_by_file rfile with
+      | Some sup -> Suppress.permits_line sup f.Finding.rule rline
+      | None -> false)
+  in
   let findings =
     List.concat_map
       (fun src ->
-        let sup = Suppress.scan ~file:src.path src.content in
+        let sup = Hashtbl.find sup_by_file src.path in
         Suppress.invalid sup
         @ List.filter
-            (fun f ->
-              f.Finding.file = src.path && not (Suppress.permits sup f))
+            (fun f -> f.Finding.file = src.path && not (waived f))
             raw)
       sources
   in
@@ -68,8 +113,11 @@ let collect_files roots =
     if Sys.is_directory path then
       Array.iter
         (fun entry ->
-          if entry <> "_build" && entry.[0] <> '.' then
-            walk (Filename.concat path entry))
+          (* lint-fixtures hold deliberately-broken sources for the
+             test suite; [dune build @lint] must not trip over them *)
+          if entry <> "_build" && entry <> "lint-fixtures"
+             && entry.[0] <> '.'
+          then walk (Filename.concat path entry))
         (Sys.readdir path)
     else if is_source path then acc := path :: !acc
   in
@@ -78,16 +126,16 @@ let collect_files roots =
     roots;
   List.sort String.compare !acc
 
-let lint_paths roots =
-  let files = collect_files roots in
-  let sources =
-    List.map
-      (fun path ->
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let content = really_input_string ic n in
-        close_in ic;
-        { path; content })
-      files
-  in
-  (List.length files, lint_sources sources)
+let read_sources roots =
+  List.map
+    (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let content = really_input_string ic n in
+      close_in ic;
+      { path; content })
+    (collect_files roots)
+
+let lint_paths ?extra_alloc_free_roots roots =
+  let sources = read_sources roots in
+  (List.length sources, lint_sources ?extra_alloc_free_roots sources)

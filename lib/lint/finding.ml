@@ -1,4 +1,17 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | Parse | Suppress
+type rule =
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | Parse
+  | Suppress
 
 let rule_name = function
   | R1 -> "R1"
@@ -9,6 +22,9 @@ let rule_name = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
+  | R10 -> "R10"
+  | R11 -> "R11"
   | Parse -> "parse"
   | Suppress -> "suppress"
 
@@ -21,6 +37,9 @@ let rule_of_name = function
   | "R6" -> Some R6
   | "R7" -> Some R7
   | "R8" -> Some R8
+  | "R9" -> Some R9
+  | "R10" -> Some R10
+  | "R11" -> Some R11
   | _ -> None
 
 let rule_doc = function
@@ -49,6 +68,17 @@ let rule_doc = function
     "timer attribution: every Sim.schedule_*/Sim.every call must carry an \
      explicit ~src label so the event-loop profiler can attribute \
      dispatches"
+  | R9 ->
+    "alloc-free: no allocation site may be reachable from an \
+     [@olia.alloc_free] hot-path entry point (whole-program)"
+  | R10 ->
+    "domain-safety: toplevel mutable state must not be reachable from \
+     Exp.Sweep workers or scenario run functions without per-domain \
+     instantiation (whole-program)"
+  | R11 ->
+    "determinism taint: nondeterminism sources (wall clock, ambient \
+     randomness, Hashtbl iteration order, polymorphic compare on floats) \
+     must not flow into trace/JSON/meter sinks (whole-program)"
   | Parse -> "the file must parse before any rule can run"
   | Suppress -> "suppression directives need valid rule ids and a reason"
 
@@ -61,8 +91,11 @@ let rule_index = function
   | R6 -> 6
   | R7 -> 7
   | R8 -> 8
-  | Parse -> 9
-  | Suppress -> 10
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | Parse -> 12
+  | Suppress -> 13
 
 type t = {
   rule : rule;
@@ -70,9 +103,11 @@ type t = {
   line : int;
   col : int;
   message : string;
+  root : (string * int) option;
 }
 
-let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+let v ?root ~rule ~file ~line ~col message =
+  { rule; file; line; col; message; root }
 
 let compare a b =
   let c = String.compare a.file b.file in

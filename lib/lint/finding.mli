@@ -13,14 +13,21 @@ type rule =
   | R6  (** error hygiene: [ignore] of a [result] value *)
   | R7  (** seed plumbing: hard-coded or defaulted RNG seed in scenarios *)
   | R8  (** timer attribution: [Sim.schedule_*]/[Sim.every] without [~src] *)
+  | R9  (** alloc-free: allocation reachable from a hot-path entry point *)
+  | R10
+      (** domain-safety (whole-program): shared toplevel mutable state
+          reachable from sweep workers *)
+  | R11
+      (** determinism taint: nondeterminism source flowing into an
+          output sink across module boundaries *)
   | Parse  (** the file does not parse; nothing else was checked *)
   | Suppress  (** malformed suppression directive *)
 
 val rule_name : rule -> string
-(** ["R1"] ... ["R8"], ["parse"], ["suppress"]. *)
+(** ["R1"] ... ["R11"], ["parse"], ["suppress"]. *)
 
 val rule_of_name : string -> rule option
-(** Inverse of {!rule_name} for the suppressible rules R1-R8 only:
+(** Inverse of {!rule_name} for the suppressible rules R1-R11 only:
     [Parse] and [Suppress] findings cannot be waived. *)
 
 val rule_doc : rule -> string
@@ -32,9 +39,19 @@ type t = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as in compiler diagnostics *)
   message : string;
+  root : (string * int) option;
+      (** whole-program findings: (file, line) of the call chain's root
+          entry point, so a suppression at the root also waives them *)
 }
 
-val v : rule:rule -> file:string -> line:int -> col:int -> string -> t
+val v :
+  ?root:string * int ->
+  rule:rule ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
 
 val compare : t -> t -> int
 (** Order by file, line, column, rule — the report order. *)

@@ -1,8 +1,10 @@
 (** Rendering findings.
 
-    Both reporters return data (a string, a JSON tree) rather than
+    All reporters return data (a string, a JSON tree) rather than
     printing: [lib/] code is subject to its own R4, so the terminal
-    belongs to [bin/olia_lint]. *)
+    belongs to [bin/olia_lint]. The text and JSON shapes are
+    byte-stable interfaces consumed by CI greps; additions go to new
+    formats (like SARIF), not to these two. *)
 
 val to_text : files:int -> Finding.t list -> string
 (** Compiler-style [file:line:col: RULE message] lines followed by a
@@ -10,3 +12,8 @@ val to_text : files:int -> Finding.t list -> string
 
 val to_json : files:int -> Finding.t list -> Repro_stats.Json.t
 (** [{"files": n, "findings": [...], "count": n, "clean": bool}]. *)
+
+val to_sarif : Finding.t list -> Repro_stats.Json.t
+(** Minimal SARIF 2.1.0 log (one run, driver [olia_lint], a rule entry
+    per rule that fired) for GitHub code-scanning upload. Columns are
+    converted to SARIF's 1-based convention. *)

@@ -50,7 +50,7 @@ let parse_body ~file ~line body =
        else if List.mem None rules then
          invalid
            (Printf.sprintf "unknown rule id in lint directive (waivable \
-                            rules are R1-R8): %s"
+                            rules are R1-R11): %s"
               (String.concat " " ids))
        else (
          match reason with
@@ -172,13 +172,14 @@ let scan ~file content =
 
 let invalid t = t.invalid
 
-let permits t (f : Finding.t) =
-  match f.Finding.rule with
+let permits_line t rule line =
+  match rule with
   | Finding.Parse | Finding.Suppress -> false
   | rule ->
     List.exists
       (fun d ->
         List.mem rule d.rules
-        && (d.file_wide || f.Finding.line = d.line
-            || f.Finding.line = d.line + 1))
+        && (d.file_wide || line = d.line || line = d.line + 1))
       t.directives
+
+let permits t (f : Finding.t) = permits_line t f.Finding.rule f.Finding.line

@@ -6,7 +6,7 @@ let create ~sim ~delay =
 
 (* The packet rides in the timer cell itself and [Packet.forward] is a
    static function, so a pipe traversal schedules without allocating. *)
-let hop t (p : Packet.t) =
+let[@olia.alloc_free] hop t (p : Packet.t) =
   ignore
     (Sim.schedule_pkt_after ~src:"pipe.deliver" t.sim t.delay Packet.forward p
       : Sim.Timer.t)

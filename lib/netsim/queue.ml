@@ -90,7 +90,7 @@ let check_invariants t =
          t.name t.dbg_data_in t.dbg_data_dropped t.dbg_data_done !queued_data)
   end
 
-let rec serve t =
+let[@olia.alloc_free] rec serve t =
   if t.count = 0 then begin
     t.busy <- false;
     t.red.idle_since <- Sim.now t.sim
@@ -109,7 +109,7 @@ let rec serve t =
         : Sim.Timer.t)
   end
 
-and finish_service t =
+and[@olia.alloc_free] finish_service t =
   let p = t.in_service in
   t.in_service <- t.sentinel;
   t.backlog <- t.backlog - 1;
@@ -169,7 +169,7 @@ let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
   t.on_served <- (fun () -> finish_service t);
   t
 
-let red_drop_probability params avg =
+let[@inline] red_drop_probability params avg =
   if avg < params.min_th then 0.
   else if avg < params.max_th then
     params.max_p *. (avg -. params.min_th) /. (params.max_th -. params.min_th)
@@ -216,7 +216,7 @@ let red_decides_drop t params =
     else false
   end
 
-let enqueue t (p : Packet.t) =
+let[@olia.alloc_free] enqueue t (p : Packet.t) =
   if is_data p then begin
     t.arrivals <- t.arrivals + 1;
     t.dbg_data_in <- t.dbg_data_in + 1

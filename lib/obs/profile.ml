@@ -8,12 +8,12 @@
    passes (e.g. "queue.serve", "tcp.rto"); unlabelled sites pool under
    "other". *)
 
-(* lint: allow R2 -- process-global profiler switch, armed once by the CLI or test setup before the (single-domain) profiled run starts *)
+(* lint: allow R2 R10 -- process-global profiler switch, armed once by the CLI or test setup before the (single-domain) profiled run starts; Exp.Sweep refuses to spawn domains while armed *)
 let armed = ref false
 
 type cell = { mutable count : int; mutable wall_s : float }
 
-(* lint: allow R2 -- paired with [armed]: the per-source accumulator table behind the profiler, guarded by [lock] *)
+(* lint: allow R2 R10 -- paired with [armed]: the per-source accumulator table behind the profiler, guarded by [lock]; only touched when armed, never during a sweep *)
 let table : (string, cell) Hashtbl.t = Hashtbl.create 16
 
 let lock = Mutex.create ()

@@ -288,7 +288,7 @@ let of_json json =
    never arms tracing there), and [emit] serializes writers with a
    mutex in case a traced program still spawns domains. *)
 
-(* lint: allow R2 -- process-global trace sink, armed once by the CLI or test setup before the (single-domain) traced run starts *)
+(* lint: allow R2 R10 -- process-global trace sink, armed once by the CLI or test setup before the (single-domain) traced run starts; Exp.Sweep refuses to run while armed *)
 let sink : (event -> unit) option ref = ref None
 
 (* lint: allow R2 -- paired with [sink]: the channel behind the JSONL writer, managed only by open_jsonl/close *)

@@ -49,6 +49,7 @@ let measure_conns ~sim ~warmup ~duration conns =
    from Lossy hops, which only the wireless scenario uses. *)
 let observe ~meter ~sim ?(lossy = []) ?(subflow_goodput_bps = []) queues =
   let sum f = List.fold_left (fun acc q -> acc + f q) 0 queues in
+  (* lint: allow R11 -- the meter reports elapsed wall time of the run by design (operator-facing); every simulation metric it carries is seeded *)
   Repro_obs.Meter.finish meter ~sim_s:(Sim.now sim)
     ~events_processed:(Sim.events_processed sim)
     ~max_heap_depth:(Sim.max_heap_depth sim)

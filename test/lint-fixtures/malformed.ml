@@ -1,0 +1,4 @@
+(* Deliberately unparseable: the resilience tests feed this file to the
+   engine and expect a single Parse finding, not an exception, and the
+   whole-program pass must still run over every other file. *)
+let broken = (fun x ->

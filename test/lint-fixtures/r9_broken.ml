@@ -1,0 +1,9 @@
+(* A deliberately-broken hot path: the entry point is annotated
+   [@olia.alloc_free] but the helper it calls allocates a list cell per
+   event. The regression test asserts R9 catches exactly this chain,
+   proving the alloc-free gate would fail CI if the real hot path ever
+   picked up an allocation. *)
+
+let leak_event x acc = x :: acc
+
+let[@olia.alloc_free] dispatch x acc = leak_event x acc

@@ -1,0 +1,9 @@
+(* Negative twin of r9_broken.ml: the same shape of hot path, but the
+   helper only does arithmetic and the one allocation sits behind the
+   Invariant.enabled guard, so R9 must stay silent. *)
+
+let bump x acc = x + acc
+
+let[@olia.alloc_free] dispatch x acc =
+  if Invariant.enabled () then failwith (string_of_int x);
+  bump x acc

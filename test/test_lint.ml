@@ -312,7 +312,7 @@ let hello () = print_endline "hi"
 
 let test_suppress_unknown_rule () =
   check_count "unknown rule id rejected" Finding.Suppress 1
-    (lint "(* lint: allow R9 -- no such rule *)\nlet x = 1")
+    (lint "(* lint: allow R99 -- no such rule *)\nlet x = 1")
 
 let test_suppress_in_string_ignored () =
   check_count "directive text inside a string literal is inert"
@@ -356,6 +356,234 @@ let test_report_json () =
     | Some (Repro_stats.Json.Bool b) -> Alcotest.(check bool) "clean" false b
     | _ -> Alcotest.fail "missing clean")
   | Ok _ -> Alcotest.fail "report is not a JSON object"
+
+(* --- whole-program pass: call graph, R9, R10, R11 ------------------- *)
+
+let test_r9_direct () =
+  check_count "allocation in the entry point itself" Finding.R9 1
+    (lint "let[@olia.alloc_free] f x = Some x");
+  check_count "pure entry point is silent" Finding.R9 0
+    (lint "let[@olia.alloc_free] f x = x + 1")
+
+let test_r9_cross_module () =
+  let fs =
+    Engine.lint_sources
+      [
+        {
+          Engine.path = "lib/a/entry.ml";
+          content = "let[@olia.alloc_free] dispatch x = Helper.consume x";
+        };
+        { Engine.path = "lib/a/helper.ml"; content = "let consume x = ref x" };
+      ]
+  in
+  check_count "allocation one module away" Finding.R9 1 fs;
+  match List.find_opt (fun (f : Finding.t) -> f.rule = Finding.R9) fs with
+  | None -> Alcotest.fail "no R9 finding"
+  | Some f ->
+    Alcotest.(check string) "reported at the allocation site" "lib/a/helper.ml"
+      f.file;
+    Alcotest.(check (option (pair string int)))
+      "rooted at the entry point"
+      (Some ("lib/a/entry.ml", 1))
+      f.root;
+    Alcotest.(check bool) "chain names both hops" true
+      (contains ~needle:"Entry.dispatch" f.message
+      && contains ~needle:"Helper.consume" f.message)
+
+let test_r9_guard_pruned () =
+  check_count "allocation behind debug guards does not count" Finding.R9 0
+    (lint
+       {|
+let check x = if Invariant.enabled () then failwith (string_of_int x)
+let[@olia.alloc_free] f x = check x; x + 1
+|})
+
+let test_r9_module_init_exempt () =
+  check_count "mentioning a module-level constant is not an allocation"
+    Finding.R9 0
+    (lint {|
+let pair = (1, 2)
+let[@olia.alloc_free] f () = fst pair
+|})
+
+let test_r9_suppressible_at_root () =
+  let entry_waived =
+    {|
+(* lint: allow R9 -- measured: amortized, off the steady-state path *)
+let[@olia.alloc_free] dispatch x = Helper.consume x
+|}
+  in
+  check_count "directive at the chain's root waives the callee's finding"
+    Finding.R9 0
+    (Engine.lint_sources
+       [
+         { Engine.path = "lib/a/entry.ml"; content = entry_waived };
+         { Engine.path = "lib/a/helper.ml"; content = "let consume x = ref x" };
+       ]);
+  check_count "directive at the allocation site waives it too" Finding.R9 0
+    (Engine.lint_sources
+       [
+         {
+           Engine.path = "lib/a/entry.ml";
+           content = "let[@olia.alloc_free] dispatch x = Helper.consume x";
+         };
+         {
+           Engine.path = "lib/a/helper.ml";
+           content =
+             "(* lint: allow R9 -- cold path *)\nlet consume x = ref x";
+         };
+       ])
+
+let test_r9_extra_roots () =
+  let src = "let f x = ref x" in
+  check_count "no annotation, no finding" Finding.R9 0 (lint src);
+  check_count "--alloc-free-root seeds the same walk" Finding.R9 1
+    (Engine.lint_sources
+       ~extra_alloc_free_roots:[ "Fixture.f" ]
+       [ { Engine.path = "lib/foo/fixture.ml"; content = src } ])
+
+let test_r9_mutual_recursion () =
+  check_count "cycle in the call graph terminates, silently" Finding.R9 0
+    (lint
+       {|
+let[@olia.alloc_free] rec even n = if n = 0 then true else odd (n - 1)
+and odd n = if n = 0 then false else even (n - 1)
+|})
+
+let test_callgraph_shadowing () =
+  check_count "call resolves to the nearest earlier binding" Finding.R9 0
+    (lint
+       {|
+let g x = ref x
+let g x = x + 1
+let[@olia.alloc_free] f x = g x
+|});
+  check_count "and flags when the shadowing binding allocates" Finding.R9 1
+    (lint
+       {|
+let g x = x + 1
+let g x = ref x
+let[@olia.alloc_free] f x = g x
+|})
+
+let test_graph_dump () =
+  let dump =
+    Callgraph.dump
+      (Engine.graph_of_sources
+         [
+           {
+             Engine.path = "lib/a/entry.ml";
+             content = "let dispatch x = Helper.consume x";
+           };
+           {
+             Engine.path = "lib/a/helper.ml";
+             content = "let consume x = x + 1";
+           };
+         ])
+  in
+  Alcotest.(check bool) "lists the caller" true
+    (contains ~needle:"Entry.dispatch" dump);
+  Alcotest.(check bool) "and the resolved cross-module edge" true
+    (contains ~needle:"Helper.consume" dump)
+
+let test_r10_fires () =
+  let fs =
+    Engine.lint_sources
+      [
+        { Engine.path = "lib/exp/sweep.ml"; content = "let run f = Tally.bump f" };
+        {
+          Engine.path = "lib/exp/tally.ml";
+          content = "let total = ref 0\nlet bump f = total := !total + f";
+        };
+      ]
+  in
+  check_count "mutable toplevel reachable from a sweep worker" Finding.R10 1 fs
+
+let test_r10_unreachable_silent () =
+  check_count "state the sweep never touches is R2's business, not R10's"
+    Finding.R10 0
+    (Engine.lint_sources
+       [
+         { Engine.path = "lib/exp/sweep.ml"; content = "let run f = f + 1" };
+         {
+           Engine.path = "lib/exp/tally.ml";
+           content = "let total = ref 0\nlet bump f = total := !total + f";
+         };
+       ]);
+  check_count "worker-local state is fine" Finding.R10 0
+    (Engine.lint_sources
+       [
+         {
+           Engine.path = "lib/exp/sweep.ml";
+           content = "let run f =\n  let acc = ref 0 in\n  acc := f;\n  !acc";
+         };
+       ])
+
+let test_r11_fires () =
+  let fs =
+    lint
+      {|
+let stamp () = Unix.gettimeofday ()
+let report x = Trace.emit (x +. stamp ())
+|}
+  in
+  check_count "wall clock flows into a trace sink" Finding.R11 1 fs;
+  match List.find_opt (fun (f : Finding.t) -> f.rule = Finding.R11) fs with
+  | None -> Alcotest.fail "no R11 finding"
+  | Some f ->
+    Alcotest.(check bool) "explains the taint chain" true
+      (contains ~needle:"stamp" f.message)
+
+let test_r11_guarded_silent () =
+  check_count "source only reached behind a debug guard" Finding.R11 0
+    (lint
+       {|
+let stamp () = Unix.gettimeofday ()
+let report x =
+  if Invariant.enabled () then ignore (stamp ());
+  Trace.emit x
+|})
+
+let test_r11_sort_sanitizes () =
+  let tainted =
+    {|
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let dump t = Trace.emit (keys t)
+|}
+  in
+  check_count "hashtable iteration order reaches the sink" Finding.R11 1
+    (lint tainted);
+  check_count "a sort on the way scrubs the order dependence" Finding.R11 0
+    (lint
+       {|
+let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let dump t = Trace.emit (keys t)
+|})
+
+(* --- on-disk fixtures: parse resilience, broken hot path ------------ *)
+
+(* Under `dune runtest` the cwd is test/'s sandbox; under a bare
+   `dune exec test/test_main.exe` it is the repo root. *)
+let fixture name =
+  let local = Filename.concat "lint-fixtures" name in
+  if Sys.file_exists local then local else Filename.concat "test" local
+
+let test_fixture_parse_resilience () =
+  let n, fs = Engine.lint_paths [ fixture "malformed.ml"; fixture "r9_broken.ml" ] in
+  Alcotest.(check int) "both files scanned" 2 n;
+  check_count "malformed file degrades to one Parse finding" Finding.Parse 1 fs;
+  check_count "whole-program pass still ran over the healthy file" Finding.R9
+    2 fs
+
+let test_fixture_broken_hot_path () =
+  let _, fs = Engine.lint_paths [ fixture "r9_broken.ml" ] in
+  check_count "deliberately-broken hot path caught" Finding.R9 2 fs;
+  Alcotest.(check bool) "chain pins the leaking helper" true
+    (List.exists
+       (fun (f : Finding.t) -> contains ~needle:"leak_event" f.message)
+       fs);
+  let _, clean = Engine.lint_paths [ fixture "r9_clean.ml" ] in
+  check_count "its clean twin is silent" Finding.R9 0 clean
 
 let suite =
   [
@@ -415,4 +643,33 @@ let suite =
       test_suppress_in_string_ignored;
     Alcotest.test_case "text report" `Quick test_report_text;
     Alcotest.test_case "json report" `Quick test_report_json;
+    Alcotest.test_case "R9 fires on a direct allocation" `Quick test_r9_direct;
+    Alcotest.test_case "R9 follows cross-module calls" `Quick
+      test_r9_cross_module;
+    Alcotest.test_case "R9 prunes guarded branches" `Quick
+      test_r9_guard_pruned;
+    Alcotest.test_case "R9 exempts module-init allocation" `Quick
+      test_r9_module_init_exempt;
+    Alcotest.test_case "R9 suppressible at root or site" `Quick
+      test_r9_suppressible_at_root;
+    Alcotest.test_case "R9 extra roots seed the walk" `Quick
+      test_r9_extra_roots;
+    Alcotest.test_case "R9 survives mutual recursion" `Quick
+      test_r9_mutual_recursion;
+    Alcotest.test_case "call graph honors shadowing" `Quick
+      test_callgraph_shadowing;
+    Alcotest.test_case "call graph dump names edges" `Quick test_graph_dump;
+    Alcotest.test_case "R10 fires on sweep-reachable state" `Quick
+      test_r10_fires;
+    Alcotest.test_case "R10 ignores unreachable or local state" `Quick
+      test_r10_unreachable_silent;
+    Alcotest.test_case "R11 taints wall clock into sinks" `Quick
+      test_r11_fires;
+    Alcotest.test_case "R11 respects guards" `Quick test_r11_guarded_silent;
+    Alcotest.test_case "R11 sort sanitizes table order" `Quick
+      test_r11_sort_sanitizes;
+    Alcotest.test_case "fixtures: parse failure is contained" `Quick
+      test_fixture_parse_resilience;
+    Alcotest.test_case "fixtures: broken hot path is caught" `Quick
+      test_fixture_broken_hot_path;
   ]
