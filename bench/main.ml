@@ -999,6 +999,69 @@ let scenario_wall_entries () =
       ~units:"s_wall/s_sim";
   ]
 
+(* ----- macro FatTree: sharded vs sequential ----------------------------- *)
+
+(* Wall-clock per simulated second of the fattree-sharded scenario, run
+   sequentially and sharded across domains with the same seed. Tracked
+   as two snapshot entries so the bench-smoke gate catches regressions
+   in either the single-wheel hot path or the cross-shard runtime. *)
+let fattree_macro_cfg () =
+  if !quick then
+    { S.Fattree_sharded.default with k = 4; flows_per_host = 4;
+      duration = 3.; warmup = 1. }
+  else { S.Fattree_sharded.default with duration = 3.; warmup = 1. }
+
+let fattree_macro_shards () = if !quick then 2 else 4
+
+let fattree_macro_walls () =
+  let cfg = fattree_macro_cfg () in
+  (* best-of-3, same rationale as micro_estimates: noise only adds time *)
+  let time shards =
+    let rec go i best =
+      if i >= 3 then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (S.Fattree_sharded.run { cfg with S.Fattree_sharded.shards }
+            : S.Fattree_sharded.result);
+        go (i + 1) (Stdlib.min best (Unix.gettimeofday () -. t0))
+      end
+    in
+    go 0 infinity
+  in
+  let seq = time 1 in
+  let shards = fattree_macro_shards () in
+  (cfg, shards, seq, time shards)
+
+let fattree_macro_entries () =
+  let cfg, shards, seq, shd = fattree_macro_walls () in
+  let per_sim wall = wall /. cfg.S.Fattree_sharded.duration in
+  [
+    Obs.Snapshot.entry ~name:"macro/fattree/sequential" ~value:(per_sim seq)
+      ~units:"s_wall/s_sim";
+    Obs.Snapshot.entry
+      ~name:(Printf.sprintf "macro/fattree/shards%d" shards)
+      ~value:(per_sim shd) ~units:"s_wall/s_sim";
+  ]
+
+let macro_fattree () =
+  section "Macro - FatTree sharded vs sequential wall-clock";
+  let cfg, shards, seq, shd = fattree_macro_walls () in
+  Printf.printf
+    "k=%d, %d flows, %g simulated seconds\n\
+     sequential   %.2f s wall (%.3f s_wall/s_sim)\n\
+     %d shards    %.2f s wall (%.3f s_wall/s_sim)\n\
+     speedup      %.2fx\n"
+    cfg.S.Fattree_sharded.k
+    (cfg.S.Fattree_sharded.k * cfg.S.Fattree_sharded.k
+     * cfg.S.Fattree_sharded.k / 4
+    * cfg.S.Fattree_sharded.flows_per_host)
+    cfg.S.Fattree_sharded.duration seq
+    (seq /. cfg.S.Fattree_sharded.duration)
+    shards shd
+    (shd /. cfg.S.Fattree_sharded.duration)
+    (seq /. shd)
+
 let contains_substring ~needle hay =
   let nn = String.length needle and nh = String.length hay in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -1018,6 +1081,7 @@ let take_snapshot () =
             ~units:"ns/run")
       (micro_estimates ~reps:3 ())
     @ scenario_wall_entries ()
+    @ fattree_macro_entries ()
   in
   Obs.Snapshot.v ~quick:!quick entries
 
@@ -1098,6 +1162,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablation-wireless", "wireless bonding (ref. [12])", ablation_wireless);
     ("ablation-seeds", "seed stability", ablation_seeds);
     ("micro", "Bechamel micro-benchmarks", micro);
+    ("macro-fattree", "FatTree sharded vs sequential wall-clock", macro_fattree);
   ]
 
 let () =

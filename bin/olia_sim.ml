@@ -10,6 +10,7 @@
      fattree                                static FatTree experiment
      fattree-dynamic                        short-flow experiment
      fluid                                  analytical fixed points
+     shard-invariance                       sharded-vs-sequential CI gate
      check                                  conformance + golden traces *)
 
 open Cmdliner
@@ -160,10 +161,41 @@ let with_obs_sinks ~trace ~report f =
     in
     (acc, r)
 
-let run_generic name params out trace report format profile =
+let shards_opt =
+  let doc =
+    "Simulation shards (OCaml domains), for scenarios with a $(b,shards) \
+     parameter such as fattree-sharded. Shorthand for $(b,-p shards=N). \
+     Results are shard-count-invariant; $(b,--trace) requires \
+     $(b,--shards 1) because the trace sink is process-global."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+
+let has_shards_param (module Sc : S.Registry.SCENARIO) =
+  List.exists (fun p -> p.E.Spec.key = "shards") Sc.spec.E.Spec.params
+
+let sharded_scenario_names () =
+  List.filter
+    (fun n -> has_shards_param (S.Registry.find n))
+    S.Registry.names
+
+let run_generic name params shards out trace report format profile =
   try
     let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
     let bindings = List.map (E.Spec.parse_assign Sc.spec) params in
+    let bindings =
+      match shards with
+      | None -> bindings
+      | Some n ->
+        if not (has_shards_param (module Sc)) then
+          invalid_arg
+            (Printf.sprintf
+               "--shards: scenario %s has no 'shards' parameter and always \
+                runs on one event loop; sharded execution is available for: \
+                %s"
+               name
+               (String.concat ", " (sharded_scenario_names ())))
+        else ("shards", E.Spec.Int n) :: bindings
+    in
     if profile then begin
       Obs.Profile.reset ();
       Obs.Profile.set_enabled true
@@ -215,8 +247,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run_generic $ scenario_pos $ params_opt $ out_opt $ trace_opt
-        $ report_opt $ format_opt $ profile_opt))
+        (const run_generic $ scenario_pos $ params_opt $ shards_opt $ out_opt
+        $ trace_opt $ report_opt $ format_opt $ profile_opt))
 
 (* --- report: offline trace analysis ------------------------------------- *)
 
@@ -639,10 +671,216 @@ let fluid_cmd =
     (Cmd.info "fluid" ~doc)
     Term.(const run_fluid $ scenario $ n1 $ n2 $ c1 $ c2)
 
+(* --- shard-invariance ------------------------------------------------------ *)
+
+module Json = Mptcp_repro.Stats.Json
+
+(* Run the sharded FatTree scenario at --shards 1 and --shards N with the
+   same seed, compare banded metrics (the CI gate for the conservative
+   lookahead runtime) and report the wall-clock speedup. *)
+let run_shard_invariance k shards flows_per_host subflows rate algo duration
+    warmup seed tolerance min_speedup out =
+  try
+    if shards < 2 then
+      invalid_arg "shard-invariance: --shards must be >= 2 (it is compared \
+                   against a --shards 1 baseline)";
+    let cfg s =
+      { S.Fattree_sharded.k; shards = s; rate_mbps = rate; delay_ms = 1.;
+        subflows; flows_per_host; algo; duration; warmup; seed }
+    in
+    let flows = k * k * k / 4 * flows_per_host in
+    let timed s =
+      (* lint: allow R1 -- wall-clock speedup measurement of the runtime *)
+      let t0 = Unix.gettimeofday () in
+      let r = S.Fattree_sharded.run (cfg s) in
+      (* lint: allow R1 -- closes the wall-clock interval opened above *)
+      (r, Unix.gettimeofday () -. t0)
+    in
+    Printf.printf
+      "shard-invariance: k=%d, %d flows, %s, %.3g s simulated (seed %d)\n\
+       running --shards 1 ...\n\
+       %!"
+      k flows algo duration seed;
+    let base, wall1 = timed 1 in
+    Printf.printf "  %.1f s wall; running --shards %d ...\n%!" wall1 shards;
+    let shd, walln = timed shards in
+    let speedup = wall1 /. walln in
+    Printf.printf "  %.1f s wall (speedup %.2fx)\n" walln speedup;
+    let checks =
+      List.map
+        (fun (metric, b, s, limit, kind) ->
+          let dev =
+            match kind with
+            | `Rel -> abs_float (s -. b) /. Stdlib.max (abs_float b) 1e-9
+            | `Abs -> abs_float (s -. b)
+          in
+          (metric, b, s, dev, limit, kind, dev <= limit))
+        [
+          ("aggregate_mbps", base.S.Fattree_sharded.aggregate_mbps,
+           shd.S.Fattree_sharded.aggregate_mbps, tolerance, `Rel);
+          ("mean_flow_mbps", base.S.Fattree_sharded.mean_flow_mbps,
+           shd.S.Fattree_sharded.mean_flow_mbps, tolerance, `Rel);
+          ("p50_flow_mbps", base.S.Fattree_sharded.p50_flow_mbps,
+           shd.S.Fattree_sharded.p50_flow_mbps, tolerance, `Rel);
+          ("p10_flow_mbps", base.S.Fattree_sharded.p10_flow_mbps,
+           shd.S.Fattree_sharded.p10_flow_mbps, 2. *. tolerance, `Rel);
+          ("p90_flow_mbps", base.S.Fattree_sharded.p90_flow_mbps,
+           shd.S.Fattree_sharded.p90_flow_mbps, 2. *. tolerance, `Rel);
+          ("mean_core_loss", base.S.Fattree_sharded.mean_core_loss,
+           shd.S.Fattree_sharded.mean_core_loss, 0.02, `Abs);
+        ]
+    in
+    List.iter
+      (fun (metric, b, s, dev, limit, kind, ok) ->
+        Printf.printf "%s %-18s shards=1 %10.5g  shards=%d %10.5g  %s %.3g \
+                       (limit %.3g)\n"
+          (if ok then "ok  " else "FAIL")
+          metric b shards s
+          (match kind with `Rel -> "rel-dev" | `Abs -> "abs-dev")
+          dev limit)
+      checks;
+    Printf.printf "cut messages: %d (shards=1: %d)\n"
+      shd.S.Fattree_sharded.cut_messages base.S.Fattree_sharded.cut_messages;
+    let metrics_pass = List.for_all (fun (_, _, _, _, _, _, ok) -> ok) checks in
+    let speedup_pass = min_speedup <= 0. || speedup >= min_speedup in
+    if not speedup_pass then
+      Printf.printf "FAIL speedup %.2fx < required %.2fx\n" speedup min_speedup
+    else if min_speedup > 0. then
+      Printf.printf "ok   speedup %.2fx >= %.2fx\n" speedup min_speedup;
+    let json =
+      let result_json (r : S.Fattree_sharded.result) wall =
+        Json.Obj
+          [
+            ("aggregate_mbps", Json.Float r.S.Fattree_sharded.aggregate_mbps);
+            ( "aggregate_pct_optimal",
+              Json.Float r.S.Fattree_sharded.aggregate_pct_optimal );
+            ("mean_flow_mbps", Json.Float r.S.Fattree_sharded.mean_flow_mbps);
+            ("p10_flow_mbps", Json.Float r.S.Fattree_sharded.p10_flow_mbps);
+            ("p50_flow_mbps", Json.Float r.S.Fattree_sharded.p50_flow_mbps);
+            ("p90_flow_mbps", Json.Float r.S.Fattree_sharded.p90_flow_mbps);
+            ("mean_core_loss", Json.Float r.S.Fattree_sharded.mean_core_loss);
+            ("cut_messages", Json.Int r.S.Fattree_sharded.cut_messages);
+            ("wall_s", Json.Float wall);
+          ]
+      in
+      Json.Obj
+        [
+          ("scenario", Json.String "fattree-sharded");
+          ("k", Json.Int k);
+          ("shards", Json.Int shards);
+          ("flows", Json.Int flows);
+          ("subflows", Json.Int subflows);
+          ("algo", Json.String algo);
+          ("duration_s", Json.Float duration);
+          ("seed", Json.Int seed);
+          ("tolerance", Json.Float tolerance);
+          ("min_speedup", Json.Float min_speedup);
+          ("baseline", result_json base wall1);
+          ("sharded", result_json shd walln);
+          ("speedup", Json.Float speedup);
+          ( "checks",
+            Json.List
+              (List.map
+                 (fun (metric, b, s, dev, limit, kind, ok) ->
+                   Json.Obj
+                     [
+                       ("metric", Json.String metric);
+                       ("baseline", Json.Float b);
+                       ("sharded", Json.Float s);
+                       ( "deviation",
+                         Json.Obj
+                           [
+                             ( "kind",
+                               Json.String
+                                 (match kind with
+                                 | `Rel -> "relative"
+                                 | `Abs -> "absolute") );
+                             ("value", Json.Float dev);
+                             ("limit", Json.Float limit);
+                           ] );
+                       ("pass", Json.Bool ok);
+                     ])
+                 checks) );
+          ("metrics_pass", Json.Bool metrics_pass);
+          ("speedup_pass", Json.Bool speedup_pass);
+          ("pass", Json.Bool (metrics_pass && speedup_pass));
+        ]
+    in
+    Option.iter
+      (fun path ->
+        Json.write ~path json;
+        Printf.printf "wrote %s\n" path)
+      out;
+    if metrics_pass && speedup_pass then begin
+      Printf.printf
+        "shard-invariance: PASS (metrics within bands, speedup %.2fx)\n"
+        speedup;
+      `Ok ()
+    end
+    else begin
+      Printf.printf "shard-invariance: FAIL\n";
+      exit 1
+    end
+  with Invalid_argument msg -> `Error (false, msg)
+
+let shard_invariance_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard count compared against the --shards 1 baseline \
+                 (must divide $(b,--k)).")
+  in
+  let flows_per_host =
+    Arg.(value & opt int 8 & info [ "flows-per-host" ] ~docv:"N"
+           ~doc:"Long-lived permutation flows per host (k=8 and 8 \
+                 flows/host give 1024 flows).")
+  in
+  let subflows =
+    Arg.(value & opt int 2 & info [ "subflows"; "s" ] ~docv:"N"
+           ~doc:"MPTCP subflows per connection.")
+  in
+  let duration =
+    Arg.(value & opt float 5. & info [ "duration"; "d" ] ~docv:"SEC"
+           ~doc:"Simulated duration in seconds.")
+  in
+  let warmup =
+    Arg.(value & opt float 1. & info [ "warmup"; "w" ] ~docv:"SEC"
+           ~doc:"Warm-up excluded from the measurements, seconds.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.1 & info [ "tolerance" ] ~docv:"FRAC"
+           ~doc:"Relative band on aggregate/mean/median goodput (tail \
+                 percentiles get twice this; core loss an absolute 0.02).")
+  in
+  let min_speedup =
+    Arg.(value & opt float 0. & info [ "min-speedup" ] ~docv:"X"
+           ~doc:"Fail unless sharded wall-clock speedup reaches $(docv) \
+                 (0 = report only).")
+  in
+  let doc =
+    "CI gate: run the fattree-sharded scenario at --shards 1 and --shards \
+     N with one seed, fail if banded metrics diverge (shard-count \
+     invariance of the conservative-lookahead runtime), and report the \
+     wall-clock speedup."
+  in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "olia_sim shard-invariance --shards 4 --out report.json";
+      `P "olia_sim shard-invariance --k 4 --flows-per-host 2 -d 2 \
+          --min-speedup 1.2";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "shard-invariance" ~doc ~man)
+    Term.(
+      ret
+        (const run_shard_invariance $ k_arg $ shards $ flows_per_host
+        $ subflows $ rate $ algo $ duration $ warmup $ seed $ tolerance
+        $ min_speedup $ out_opt))
+
 (* --- check ----------------------------------------------------------------- *)
 
 module Ck = Mptcp_repro.Check
-module Json = Mptcp_repro.Stats.Json
 
 let has_sub hay needle =
   let lh = String.length hay and ln = String.length needle in
@@ -773,5 +1011,5 @@ let () =
             list_cmd; run_cmd; sweep_cmd; report_cmd; scenario_a_cmd;
             scenario_b_cmd; scenario_c_cmd; trace_cmd; fattree_cmd;
             fattree_dynamic_cmd; responsiveness_cmd; wireless_cmd; fluid_cmd;
-            check_cmd;
+            shard_invariance_cmd; check_cmd;
           ]))

@@ -60,11 +60,13 @@ module Netsim = struct
   module Monitor = Repro_netsim.Monitor
   module Lossy = Repro_netsim.Lossy
   module Fault = Repro_netsim.Fault
+  module Shard = Repro_netsim.Shard
 end
 
 module Topology = struct
   module Duplex = Repro_topology.Duplex
   module Fattree = Repro_topology.Fattree
+  module Fattree_pods = Repro_topology.Fattree_pods
   module Graph = Repro_topology.Graph
   module Builder = Repro_topology.Builder
 end
@@ -104,6 +106,7 @@ module Scenarios = struct
   module Wireless = Repro_scenarios.Wireless
   module Fattree_static = Repro_scenarios.Fattree_static
   module Fattree_dynamic = Repro_scenarios.Fattree_dynamic
+  module Fattree_sharded = Repro_scenarios.Fattree_sharded
 end
 
 module Stats = struct

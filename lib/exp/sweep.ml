@@ -91,6 +91,28 @@ type point = { bindings : Spec.bindings; outcome : Outcome.t }
 let run_seq (module Sc : Scenario_intf.S) pts =
   List.map (fun bindings -> { bindings; outcome = Sc.run bindings }) pts
 
+(* The domain-pool plumbing, shared by the sweep engine and the sharded
+   simulation runner (Repro_netsim.Shard takes it as its [pool]
+   argument). One thunk per worker; the caller's domain runs thunk 0 so
+   [n] thunks use [n - 1] spawned domains. Every domain is joined before
+   returning — the join gives the caller a happens-before edge over all
+   worker writes — and the first exception of any worker is re-raised
+   after the pool has drained. *)
+let pool thunks =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else if n = 1 then thunks.(0) ()
+  else begin
+    let spawned =
+      List.init (n - 1) (fun i -> Domain.spawn thunks.(i + 1))
+    in
+    let first_exn = ref None in
+    let record e = if !first_exn = None then first_exn := Some e in
+    (try thunks.(0) () with e -> record e);
+    List.iter (fun d -> try Domain.join d with e -> record e) spawned;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
 let run ?domains (module Sc : Scenario_intf.S) pts_list =
   (* The trace sink is process-global, so a traced multi-domain sweep
      would interleave events from unrelated runs into one stream.
@@ -99,7 +121,8 @@ let run ?domains (module Sc : Scenario_intf.S) pts_list =
     invalid_arg
       "Sweep.run: tracing is armed but the trace sink is process-global; \
        disarm tracing (or unset OLIA_TRACE) before running a sweep, and \
-       trace a single `olia_sim run` instead";
+       trace a single `olia_sim run` instead (with --shards 1 if the \
+       scenario is sharded -- sharded runs refuse tracing the same way)";
   let pts = Array.of_list pts_list in
   let n = Array.length pts in
   let requested =
@@ -122,12 +145,7 @@ let run ?domains (module Sc : Scenario_intf.S) pts_list =
       in
       loop ()
     in
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    let first_exn = ref None in
-    let record e = if !first_exn = None then first_exn := Some e in
-    (try worker () with e -> record e);
-    List.iter (fun d -> try Domain.join d with e -> record e) spawned;
-    (match !first_exn with Some e -> raise e | None -> ());
+    pool (Array.init workers (fun _ -> worker));
     Array.to_list
       (Array.mapi
          (fun i o ->

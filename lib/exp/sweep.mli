@@ -36,6 +36,14 @@ type point = { bindings : Spec.bindings; outcome : Outcome.t }
 val run_seq : (module Scenario_intf.S) -> Spec.bindings list -> point list
 (** Run every point in order in the calling domain. *)
 
+val pool : (unit -> unit) array -> unit
+(** The domain-pool plumbing under {!run}, exposed for other parallel
+    runners (the sharded simulation loop takes it as its pool): run one
+    thunk per worker, thunk 0 on the calling domain and the rest on
+    spawned domains, join them all, and re-raise the first worker
+    exception once every domain has been joined. The join publishes all
+    worker writes to the caller. *)
+
 val run :
   ?domains:int -> (module Scenario_intf.S) -> Spec.bindings list -> point list
 (** Run the points on a pool of [domains] workers (default

@@ -126,6 +126,12 @@ let is_sweep_root (n : Summary.node) =
       && Rules.basename n.Summary.path <> "registry.ml"
       && Rules.basename n.Summary.path <> "common.ml"
       && n.Summary.qual = "run")
+  (* the sharded simulation runtime spawns domains exactly like the
+     sweep engine: everything reachable from its window loop (and from
+     the per-shard delivery path it schedules) runs on worker domains *)
+  || (Rules.under [ "lib"; "netsim" ] n.Summary.path
+      && Rules.basename n.Summary.path = "shard.ml"
+      && (n.Summary.qual = "run_windows" || n.Summary.qual = "deliver"))
 
 let check_domain_safety g =
   let roots = ref [] in

@@ -1,0 +1,245 @@
+module Trace = Repro_obs.Trace
+
+type msg = {
+  arrival : float;
+  src_shard : int;
+  chan_id : int;
+  chan_seq : int;
+  kind : Packet.kind;
+  pkt_seq : int;
+  flow : int;
+  subflow : int;
+  hop : int;
+  route : Packet.hop array;
+  ackno : int;
+  sack : (int * int) option;
+  sent_at : float;
+  enqueued_at : float;
+  echo : float;
+}
+
+type channel = {
+  src_shard : int;
+  dst_shard : int;
+  chan_id : int;
+  latency : float;
+  src_sim : Sim.t;
+  (* [seq] is touched only by the source domain (inside its window);
+     [inbox] is the cross-domain hand-off and is the only field both
+     sides touch, always under [lock]. Messages are pushed in send
+     order, so the reversed list is the channel's FIFO. *)
+  mutable seq : int;
+  lock : Mutex.t;
+  mutable inbox : msg list;
+}
+
+type t = {
+  sims : Sim.t array;
+  lookahead : float;
+  mutable channels : channel list;  (* reverse registration order *)
+}
+
+let create ~sims ~lookahead =
+  let n = Array.length sims in
+  if n = 0 then invalid_arg "Shard.create: no shards";
+  if n > 1 && not (Float.is_finite lookahead && lookahead > 0.) then
+    invalid_arg "Shard.create: lookahead must be finite and positive";
+  { sims; lookahead; channels = [] }
+
+let shard_count t = Array.length t.sims
+let sim t i = t.sims.(i)
+let lookahead t = t.lookahead
+
+let open_channel t ~src ~dst ?latency () =
+  let n = Array.length t.sims in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Shard.open_channel: shard out of range";
+  if src = dst then invalid_arg "Shard.open_channel: src = dst";
+  let latency = match latency with Some l -> l | None -> t.lookahead in
+  if not (Float.is_finite latency && latency >= t.lookahead) then
+    invalid_arg
+      (Printf.sprintf
+         "Shard.open_channel: latency %g below the lookahead %g would \
+          deliver inside the current window"
+         latency t.lookahead);
+  let ch =
+    {
+      src_shard = src;
+      dst_shard = dst;
+      chan_id = List.length t.channels;
+      latency;
+      src_sim = t.sims.(src);
+      seq = 0;
+      lock = Mutex.create ();
+      inbox = [];
+    }
+  in
+  t.channels <- ch :: t.channels;
+  ch
+
+(* The egress hop runs on the source domain, inside its window: it
+   snapshots the packet into an immutable message, recycles the packet
+   into the source domain's pool, and parks the message in the inbox.
+   The destination reads the packet's payload only through the message,
+   never the (pooled, domain-local) packet record itself. *)
+let send ch (p : Packet.t) =
+  let m =
+    {
+      arrival = Sim.now ch.src_sim +. ch.latency;
+      src_shard = ch.src_shard;
+      chan_id = ch.chan_id;
+      chan_seq = ch.seq;
+      kind = p.Packet.kind;
+      pkt_seq = p.Packet.seq;
+      flow = p.Packet.flow;
+      subflow = p.Packet.subflow;
+      hop = p.Packet.hop;
+      route = p.Packet.route;
+      ackno = p.Packet.ackno;
+      sack = p.Packet.sack;
+      sent_at = p.Packet.times.Packet.sent_at;
+      enqueued_at = p.Packet.times.Packet.enqueued_at;
+      echo = p.Packet.times.Packet.echo;
+    }
+  in
+  ch.seq <- ch.seq + 1;
+  Packet.free p;
+  Mutex.lock ch.lock;
+  ch.inbox <- m :: ch.inbox;
+  Mutex.unlock ch.lock
+
+let egress ch : Packet.hop = fun p -> send ch p
+let sent_count ch = ch.seq
+
+let compare_msg a b =
+  let c = Float.compare a.arrival b.arrival in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.src_shard b.src_shard in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.chan_id b.chan_id in
+      if c <> 0 then c else Int.compare a.chan_seq b.chan_seq
+
+let merge batches = List.sort compare_msg (List.concat batches)
+
+let take_inbox ch =
+  Mutex.lock ch.lock;
+  let l = ch.inbox in
+  ch.inbox <- [];
+  Mutex.unlock ch.lock;
+  List.rev l
+
+(* Re-materialize one message on the destination shard: a fresh packet
+   from this domain's pool, positioned mid-route, delivered at its
+   arrival time. The max with [now] absorbs the one-ulp rounding slack
+   between [s +. latency] (computed on the source) and the window
+   boundary [w *. lookahead] (computed locally). *)
+let deliver sim (m : msg) =
+  let p =
+    match m.kind with
+    | Packet.Data ->
+      Packet.data ~flow:m.flow ~subflow:m.subflow ~seq:m.pkt_seq
+        ~sent_at:m.sent_at ~route:m.route
+    | Packet.Ack ->
+      Packet.ack ~flow:m.flow ~subflow:m.subflow ~ackno:m.ackno ~echo:m.echo
+        ~sack:m.sack ~route:m.route ~sent_at:m.sent_at
+  in
+  p.Packet.hop <- m.hop;
+  p.Packet.times.Packet.enqueued_at <- m.enqueued_at;
+  let at = Stdlib.max m.arrival (Sim.now sim) in
+  ignore
+    (Sim.schedule_pkt_at ~src:"shard.ingress" sim at Packet.forward p
+      : Sim.Timer.t)
+
+(* A sense-reversing barrier on a mutex + condition. Two waits per
+   window: one after every shard has drained (so nobody starts filling
+   inboxes for window w while another shard is still taking window
+   w-1's batch), one after every shard has run its window (so the next
+   drain sees all of window w's sends). *)
+module Barrier = struct
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    parties : int;
+    mutable count : int;
+    mutable phase : int;
+  }
+
+  let create parties =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      parties;
+      count = 0;
+      phase = 0;
+    }
+
+  let wait b =
+    Mutex.lock b.lock;
+    let phase = b.phase in
+    b.count <- b.count + 1;
+    if b.count = b.parties then begin
+      b.count <- 0;
+      b.phase <- phase + 1;
+      Condition.broadcast b.cond
+    end
+    else
+      while b.phase = phase do
+        Condition.wait b.cond b.lock
+      done;
+    Mutex.unlock b.lock
+end
+
+let windows ~lookahead ~horizon =
+  if horizon <= 0. then 0
+  else Stdlib.max 1 (int_of_float (ceil ((horizon /. lookahead) -. 1e-9)))
+
+let drain ingress sim =
+  match ingress with
+  | [] -> ()
+  | _ ->
+    let batches = List.map take_inbox ingress in
+    List.iter (deliver sim) (merge batches)
+
+let run_windows ~pool t ~horizon =
+  if not (Float.is_finite horizon && horizon >= 0.) then
+    invalid_arg "Shard.run_windows: horizon must be finite and non-negative";
+  let n = Array.length t.sims in
+  if n = 1 then begin
+    (* one shard: no channels can exist (open_channel rejects src = dst),
+       so the window loop degenerates to chained run_until calls — run
+       the single call directly on the calling domain. Chained and
+       single run_until are bitwise identical, which is what the
+       shards=1 ≡ sequential golden pins down. *)
+    Sim.run_until t.sims.(0) horizon
+  end
+  else begin
+    if Trace.enabled () then
+      invalid_arg
+        "Shard.run_windows: tracing is armed but the trace sink is \
+         process-global; a sharded run would interleave the domains' \
+         events arbitrarily. Re-run with --shards 1 to trace, or disarm \
+         tracing (unset OLIA_TRACE) for the sharded run";
+    (* per-destination ingress lists, in registration order so the
+       pre-merge concatenation order is deterministic (the sort makes it
+       immaterial, but determinism should not hang on that) *)
+    let ingress = Array.make n [] in
+    List.iter
+      (fun ch -> ingress.(ch.dst_shard) <- ch :: ingress.(ch.dst_shard))
+      t.channels;
+    let nw = windows ~lookahead:t.lookahead ~horizon in
+    let barrier = Barrier.create n in
+    let worker i () =
+      let sim = t.sims.(i) in
+      let ing = ingress.(i) in
+      for w = 1 to nw do
+        drain ing sim;
+        Barrier.wait barrier;
+        Sim.run_until sim
+          (Stdlib.min horizon (float_of_int w *. t.lookahead));
+        Barrier.wait barrier
+      done
+    in
+    pool (Array.init n (fun i -> worker i))
+  end

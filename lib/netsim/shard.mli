@@ -1,0 +1,120 @@
+(** Conservative parallel simulation: one {!Sim} event loop per shard,
+    synchronized in lockstep windows of length [lookahead].
+
+    A sharded topology is an ordinary topology whose graph has been cut
+    at links of latency ≥ [lookahead]: each cut link's propagation pipe
+    is replaced by a cross-shard {!channel}, and every shard runs its
+    own simulator, in its own domain, over the sub-topology it owns.
+
+    The synchronization protocol is the classic conservative-lookahead
+    window loop, degenerate (all-to-all) form: all shards advance
+    through the same window boundaries [H_w = w·lookahead]. A message
+    sent at time [s ∈ (H_{w-1}, H_w]] travels a channel of latency
+    [≥ lookahead], so it arrives strictly after [H_w] — exchanging
+    inboxes at every boundary therefore delivers every message before
+    its arrival time is reached, no shard ever receives an event in its
+    past, and no rollback is needed. Deadlock-freedom is immediate:
+    windows are fixed in advance, every shard always advances to the
+    next boundary without waiting on message availability, and the two
+    barriers per window are the only blocking points. See DESIGN.md
+    ("Sharded multicore simulation") for the full argument.
+
+    Determinism: within a window each shard is an ordinary sequential
+    simulator. At each boundary the drained messages are merged in
+    [(arrival, src_shard, channel, channel_seq)] order before being
+    scheduled, so the schedule-order tie-break of {!Sim} is a pure
+    function of the simulation state — results are reproducible for a
+    given (seed, shard count). Different shard counts tie-break
+    same-instant events differently, so cross-shard-count comparisons
+    are banded, not bitwise; a one-shard group is bitwise identical to
+    an unsharded run because windowed [run_until] calls chain exactly
+    like a single call. *)
+
+type t
+(** A shard group: the sims, their channels and the lookahead. *)
+
+type channel
+(** A unidirectional cross-shard link stage of fixed latency: packets
+    entering its {!egress} hop on the source shard reappear on the
+    destination shard [latency] seconds later (re-allocated from the
+    destination domain's packet pool). *)
+
+(** One message in flight on a channel, exposed for the merge-order
+    property tests. *)
+type msg = {
+  arrival : float;  (** absolute delivery time on the destination sim *)
+  src_shard : int;
+  chan_id : int;  (** registration index of the carrying channel *)
+  chan_seq : int;  (** per-channel send sequence number *)
+  kind : Packet.kind;
+  pkt_seq : int;
+  flow : int;
+  subflow : int;
+  hop : int;  (** next hop index into [route] on arrival *)
+  route : Packet.hop array;
+  ackno : int;
+  sack : (int * int) option;
+  sent_at : float;
+  enqueued_at : float;
+  echo : float;
+}
+
+val create : sims:Sim.t array -> lookahead:float -> t
+(** A group over the given per-shard simulators. [lookahead] is the
+    window length and the minimum legal channel latency; it must be
+    finite and positive when there is more than one shard. Raises
+    [Invalid_argument] on an empty [sims]. *)
+
+val shard_count : t -> int
+
+val sim : t -> int -> Sim.t
+(** The simulator owned by one shard. *)
+
+val lookahead : t -> float
+
+val open_channel : t -> src:int -> dst:int -> ?latency:float -> unit -> channel
+(** Register a channel from shard [src] to shard [dst] (default latency
+    = the group's lookahead). Raises [Invalid_argument] if [src = dst],
+    either index is out of range, or [latency < lookahead] (a shorter
+    channel would deliver inside the current window and break the
+    conservative bound). Construction-time only: not safe once
+    {!run_windows} has started. *)
+
+val egress : channel -> Packet.hop
+(** The hop to splice into a route in place of the cut link's
+    propagation pipe. It consumes the packet (returning it to the
+    source domain's pool) and enqueues a timestamped message; the
+    destination shard re-materializes the packet at the next window
+    boundary and delivers it at [now + latency]. *)
+
+val sent_count : channel -> int
+(** Messages sent so far (source-domain view). *)
+
+val compare_msg : msg -> msg -> int
+(** The deterministic merge order: [(arrival, src_shard, chan_id,
+    chan_seq)], lexicographically. A total order on distinct
+    messages. *)
+
+val merge : msg list list -> msg list
+(** Merge per-channel FIFO batches into dispatch order — the order in
+    which the destination shard schedules the arrivals, and therefore
+    the order {!Sim} breaks same-instant ties. Equals sorting the
+    concatenation by {!compare_msg}; exposed for the QCheck property
+    ("merged dispatch order equals the sequential order"). *)
+
+val windows : lookahead:float -> horizon:float -> int
+(** Number of lockstep windows needed to reach [horizon]. *)
+
+val run_windows :
+  pool:((unit -> unit) array -> unit) -> t -> horizon:float -> unit
+(** Run every shard to [horizon] through the barrier/window loop, one
+    worker per shard scheduled by [pool] (pass [Repro_exp.Sweep.pool]
+    to use the sweep engine's domain plumbing, or a sequential pool for
+    single-domain tests — the results are identical by construction;
+    with a single shard the loop degenerates to chained [run_until]
+    calls on the calling domain). Raises [Invalid_argument] if tracing
+    is armed while the group has more than one shard: the trace sink is
+    process-global, so a sharded traced run would interleave the
+    domains' events arbitrarily — re-run with [--shards 1] to trace, or
+    disarm tracing ([OLIA_TRACE]) for the sharded run. Worker
+    exceptions are re-raised after all domains have been joined. *)

@@ -4,6 +4,12 @@ type path = { fwd : Packet.hop array; rev : Packet.hop array }
 
 type conn = {
   sim : Sim.t;
+  rcv_sim : Sim.t;
+      (* event loop of the receiver endpoint; [sim] unless the receiver
+         lives in another shard's domain (see Shard). Receiver-side
+         state (rcv_cum, ooo, the delack fields) is mutated only on
+         this loop, sender-side state only on [sim]'s — the two field
+         sets are disjoint, so the split needs no locking. *)
   cc : Repro_cc.Cc_types.t;
   flow_id : int;
   mutable subs : sub array;
@@ -289,7 +295,12 @@ let check_completion conn =
         (* lint: allow R9 -- same once-per-connection transition as above *)
         (fun s ->
           Sim.Timer.cancel conn.sim s.rto_timer;
-          Sim.Timer.cancel conn.sim s.delack_timer)
+          (* the delack timer belongs to the receiver's loop; cancelling
+             it from the sender's domain would race when the endpoints
+             are sharded. Leave it to fire (its callback checks
+             delack_count) unless both ends share a loop. *)
+          if conn.rcv_sim == conn.sim then
+            Sim.Timer.cancel conn.sim s.delack_timer)
         conn.subs;
       match conn.on_complete with
       | Some f -> f (Sim.now conn.sim)
@@ -464,14 +475,14 @@ let send_ack sub ~echo ~sack =
   sub.delack_count <- 0;
   let ack =
     Packet.ack ~flow:sub.conn.flow_id ~subflow:sub.idx ~ackno:sub.rcv_cum
-      ~echo ~sack ~route:sub.rev_route ~sent_at:(Sim.now sub.conn.sim)
+      ~echo ~sack ~route:sub.rev_route ~sent_at:(Sim.now sub.conn.rcv_sim)
   in
   Packet.forward ack
 
 (* RFC 1122 delayed-ACK timer: flush a pending acknowledgment within
    100 ms even if the second segment never arrives. *)
 let arm_delack_timer sub =
-  let sim = sub.conn.sim in
+  let sim = sub.conn.rcv_sim in
   if not (Sim.Timer.active sim sub.delack_timer) then
     sub.delack_timer <-
       Sim.schedule_after ~src:"tcp.delack" sim 0.1 sub.delack_fire
@@ -510,13 +521,16 @@ let[@olia.alloc_free] sink_handler sub (p : Packet.t) =
 
 (* --- construction --------------------------------------------------- *)
 
-let create ~sim ~cc ~paths ?size_pkts ?(start = 0.) ?(initial_cwnd = 2.)
-    ?(min_rto = 0.2) ?(rcv_wnd = 10_000.) ?(delayed_ack = false)
-    ?(subflow_join_delay = 0.) ?on_complete ~flow_id () =
+let create ~sim ?rcv_sim ~cc ~paths ?size_pkts ?(start = 0.)
+    ?(initial_cwnd = 2.) ?(min_rto = 0.2) ?(rcv_wnd = 10_000.)
+    ?(delayed_ack = false) ?(subflow_join_delay = 0.) ?on_complete ~flow_id
+    () =
   if Array.length paths = 0 then invalid_arg "Tcp.create: no paths";
+  let rcv_sim = match rcv_sim with Some s -> s | None -> sim in
   let conn =
     {
       sim;
+      rcv_sim;
       cc;
       flow_id;
       subs = [||];

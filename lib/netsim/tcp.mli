@@ -24,6 +24,7 @@ type conn
 
 val create :
   sim:Sim.t ->
+  ?rcv_sim:Sim.t ->
   cc:Repro_cc.Cc_types.t ->
   paths:path array ->
   ?size_pkts:int ->
@@ -47,7 +48,17 @@ val create :
     timer; default off, as in the htsim comparisons).
     [subflow_join_delay] postpones the start of every subflow but the
     first, emulating the MP_JOIN handshake (default 0). The [cc]
-    instance must be private to this connection. *)
+    instance must be private to this connection.
+
+    [rcv_sim] (default [sim]) is the event loop of the receiver
+    endpoint, for sharded topologies where sender and receiver run in
+    different domains ({!Shard}): receiver-side handlers (the data sink
+    and the delayed-ACK timer) then schedule on [rcv_sim], and the
+    sender's completion path leaves the receiver's timers alone.
+    Sender-side and receiver-side mutable state are disjoint field
+    sets, so no locking is needed as long as the forward route is
+    dispatched by [rcv_sim] past the shard cut and the reverse route by
+    [sim]. *)
 
 val subflow_count : conn -> int
 val total_acked : conn -> int

@@ -1,0 +1,53 @@
+(** The production-scale FatTree experiment: a k ≥ 8 tree with several
+    long-lived permutation flows per host (k = 8 and 8 flows/host give
+    1024 concurrent MPTCP connections over 128 hosts), runnable on one
+    event loop or sharded pod-per-domain across OCaml domains with
+    conservative lookahead ({!Repro_netsim.Shard}).
+
+    Results are shard-count-invariant up to same-instant tie-breaking:
+    the same seed produces goodputs inside tolerance bands for any
+    shard count, and [shards = 1] is bitwise identical to a sequential
+    run of the same topology — the properties the `shard-invariance` CI
+    job enforces via [olia_sim shard-invariance]. *)
+
+type config = {
+  k : int;  (** FatTree arity; k = 8 gives 128 hosts *)
+  shards : int;  (** domains; must divide k (1 = sequential) *)
+  rate_mbps : float;  (** host link capacity *)
+  delay_ms : float;  (** per-hop one-way latency = shard lookahead *)
+  subflows : int;  (** MPTCP subflows per connection (1 = plain TCP) *)
+  flows_per_host : int;  (** long-lived flows originating at each host *)
+  algo : string;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default : config
+(** k = 8, shards = 1, 10 Mb/s links, 1 ms hops, 2 subflows, 8 flows
+    per host (1024 flows), OLIA, 5 s with 1 s warm-up. *)
+
+type result = {
+  flow_mbps : float array;  (** per-flow goodput, flow order *)
+  aggregate_mbps : float;
+  aggregate_pct_optimal : float;
+      (** total goodput as % of [hosts·rate] (host links are the
+          permutation bottleneck regardless of flows per host) *)
+  mean_flow_mbps : float;
+  p10_flow_mbps : float;
+  p50_flow_mbps : float;
+  p90_flow_mbps : float;
+  mean_core_loss : float;  (** mean loss probability over core queues *)
+  cut_messages : int;
+      (** packets that crossed a shard boundary (0 when [shards = 1]) *)
+  obs : Repro_obs.Meter.report;
+      (** counters summed over the shards' simulators *)
+}
+
+val run : config -> result
+(** Build the sharded tree, start every flow, run the barrier/window
+    loop on [shards] domains ({!Repro_exp.Sweep.pool} plumbing) and
+    measure goodputs over [\[warmup, duration\]]. Deterministic for a
+    given (seed, shards). Raises [Invalid_argument] on a shard count
+    that does not divide [k], or if tracing is armed with
+    [shards > 1]. *)

@@ -432,6 +432,69 @@ module Fattree_dynamic_s : SCENARIO = struct
       ]
 end
 
+module Fattree_sharded_s : SCENARIO = struct
+  let d = Fattree_sharded.default
+
+  let spec =
+    {
+      Spec.name = "fattree-sharded";
+      doc =
+        "production-scale FatTree permutation experiment (k=8: 128 hosts, \
+         1024 flows), runnable sharded pod-per-domain with conservative \
+         lookahead (--shards)";
+      params =
+        [
+          Spec.int "k" d.Fattree_sharded.k
+            "FatTree arity (even; k=8 gives 128 hosts)";
+          Spec.int "shards" d.Fattree_sharded.shards
+            "simulation shards (domains); must divide k; 1 = sequential";
+          Spec.float "rate" d.Fattree_sharded.rate_mbps
+            "host link capacity, Mb/s";
+          Spec.float "delay" d.Fattree_sharded.delay_ms
+            "per-hop one-way latency, ms (the shard lookahead)";
+          Spec.int "subflows" d.Fattree_sharded.subflows
+            "MPTCP subflows per connection (1 = plain TCP)";
+          Spec.int "flows_per_host" d.Fattree_sharded.flows_per_host
+            "long-lived permutation flows originating at each host";
+          algo_param d.Fattree_sharded.algo;
+          duration_param d.Fattree_sharded.duration;
+          warmup_param d.Fattree_sharded.warmup;
+          seed_param;
+        ];
+    }
+
+  let run b =
+    let r =
+      Fattree_sharded.run
+        {
+          Fattree_sharded.k = Spec.get_int spec b "k";
+          shards = Spec.get_int spec b "shards";
+          rate_mbps = Spec.get_float spec b "rate";
+          delay_ms = Spec.get_float spec b "delay";
+          subflows = Spec.get_int spec b "subflows";
+          flows_per_host = Spec.get_int spec b "flows_per_host";
+          algo = Spec.get_string spec b "algo";
+          duration = Spec.get_float spec b "duration";
+          warmup = Spec.get_float spec b "warmup";
+          seed = Spec.get_int spec b "seed";
+        }
+    in
+    Outcome.add_metrics
+      (Outcome.of_metrics
+         ~arrays:[ ("flow_mbps", r.Fattree_sharded.flow_mbps) ]
+         [
+           ("aggregate_mbps", r.Fattree_sharded.aggregate_mbps);
+           ("aggregate_pct_optimal", r.Fattree_sharded.aggregate_pct_optimal);
+           ("mean_flow_mbps", r.Fattree_sharded.mean_flow_mbps);
+           ("p10_flow_mbps", r.Fattree_sharded.p10_flow_mbps);
+           ("p50_flow_mbps", r.Fattree_sharded.p50_flow_mbps);
+           ("p90_flow_mbps", r.Fattree_sharded.p90_flow_mbps);
+           ("mean_core_loss", r.Fattree_sharded.mean_core_loss);
+           ("cut_messages", float_of_int r.Fattree_sharded.cut_messages);
+         ])
+      (Repro_obs.Meter.metrics r.Fattree_sharded.obs)
+end
+
 let all : (string * (module SCENARIO)) list =
   [
     ("scenario-a", (module Scenario_a));
@@ -442,6 +505,7 @@ let all : (string * (module SCENARIO)) list =
     ("wireless", (module Wireless_s));
     ("fattree", (module Fattree_s));
     ("fattree-dynamic", (module Fattree_dynamic_s));
+    ("fattree-sharded", (module Fattree_sharded_s));
   ]
 
 let names = List.map fst all

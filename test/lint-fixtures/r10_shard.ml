@@ -1,0 +1,9 @@
+(* Deliberately shard-unsafe code: toplevel mutable state reachable from
+   the sharded runtime's window loop. test_lint feeds this content to the
+   engine under the path lib/netsim/shard.ml, where [run_windows] and
+   [deliver] are domain-spawning R10 roots; at its real path under test/
+   the file is inert. *)
+
+let cut_tally = ref 0
+let deliver n = cut_tally := !cut_tally + n
+let run_windows t = deliver t

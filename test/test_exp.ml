@@ -125,6 +125,12 @@ let tiny_bindings : (string * E.Spec.bindings) list =
         ("k", E.Spec.Int 4); ("subflows", E.Spec.Int 2);
         ("duration", E.Spec.Float 2.5); ("warmup", E.Spec.Float 0.5);
       ] );
+    ( "fattree-sharded",
+      [
+        ("k", E.Spec.Int 4); ("shards", E.Spec.Int 1);
+        ("flows_per_host", E.Spec.Int 1);
+        ("duration", E.Spec.Float 1.5); ("warmup", E.Spec.Float 0.5);
+      ] );
   ]
 
 (* the responsiveness scenario legitimately reports nan for "never

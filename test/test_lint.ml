@@ -585,6 +585,20 @@ let test_fixture_broken_hot_path () =
   let _, clean = Engine.lint_paths [ fixture "r9_clean.ml" ] in
   check_count "its clean twin is silent" Finding.R9 0 clean
 
+(* The fixture's content must sit at the sharded runtime's real path for
+   the R10 roots to arm, so read it off disk and re-path it. *)
+let test_r10_shard_roots () =
+  let content =
+    let ic = open_in_bin (fixture "r10_shard.ml") in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_count "shard window loop is a domain-spawning root" Finding.R10 1
+    (Engine.lint_sources [ { Engine.path = "lib/netsim/shard.ml"; content } ]);
+  check_count "the same code elsewhere in netsim is not" Finding.R10 0
+    (Engine.lint_sources [ { Engine.path = "lib/netsim/other.ml"; content } ])
+
 let suite =
   [
     Alcotest.test_case "R1 fires on ambient randomness/clocks" `Quick
@@ -663,6 +677,8 @@ let suite =
       test_r10_fires;
     Alcotest.test_case "R10 ignores unreachable or local state" `Quick
       test_r10_unreachable_silent;
+    Alcotest.test_case "R10 covers shard-reachable state" `Quick
+      test_r10_shard_roots;
     Alcotest.test_case "R11 taints wall clock into sinks" `Quick
       test_r11_fires;
     Alcotest.test_case "R11 respects guards" `Quick test_r11_guarded_silent;

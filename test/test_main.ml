@@ -9,6 +9,7 @@ let () =
       ("timer", Test_timer.suite);
       ("tcp", Test_tcp.suite);
       ("topology", Test_topology.suite);
+      ("shard", Test_shard.suite);
       ("scenarios", Test_scenarios.suite);
       ("exp", Test_exp.suite);
       ("extensions", Test_extensions.suite);

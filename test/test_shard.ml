@@ -1,0 +1,249 @@
+(* Tests of the sharded simulation runtime: pod-cut extraction on the
+   FatTree, deterministic cross-shard merge order, the shards=1 ≡
+   sequential golden, shard-count invariance bands, determinism of
+   sharded runs, and the process-global trace guard. *)
+
+open Mptcp_repro.Netsim
+module Ftp = Mptcp_repro.Topology.Fattree_pods
+module Fattree = Mptcp_repro.Topology.Fattree
+module Fs = Mptcp_repro.Scenarios.Fattree_sharded
+module Workload = Mptcp_repro.Workload
+
+let seq_pool thunks = Array.iter (fun f -> f ()) thunks
+
+let make_pods ?(k = 4) ?(shards = 2) ?(seed = 1) () =
+  Ftp.create ~shards ~rng:(Rng.create ~seed) ~k ~rate_bps:10e6 ~delay:0.001
+    ~buffer_pkts:100 ~discipline:Queue.Droptail ()
+
+(* --- pod-cut extraction ------------------------------------------------ *)
+
+let test_cut_k4 () =
+  let t = make_pods ~k:4 ~shards:2 () in
+  Alcotest.(check int) "hosts" 16 (Ftp.host_count t);
+  Alcotest.(check int) "shards" 2 (Ftp.shards t);
+  Alcotest.(check (list int)) "pod blocks" [ 0; 0; 1; 1 ]
+    (List.map (Ftp.shard_of_pod t) [ 0; 1; 2; 3 ]);
+  (* hosts 0-7 live in pods 0-1 (shard 0), hosts 8-15 in pods 2-3 *)
+  Alcotest.(check int) "host 0" 0 (Ftp.shard_of_host t 0);
+  Alcotest.(check int) "host 7" 0 (Ftp.shard_of_host t 7);
+  Alcotest.(check int) "host 8" 1 (Ftp.shard_of_host t 8);
+  Alcotest.(check bool) "same shard" false (Ftp.cross_shard t ~src:0 ~dst:7);
+  Alcotest.(check bool) "cross shard" true (Ftp.cross_shard t ~src:0 ~dst:8);
+  (* path multiplicity matches the uncut tree *)
+  Alcotest.(check int) "same edge" 1 (Ftp.path_count t ~src:0 ~dst:1);
+  Alcotest.(check int) "same pod" 2 (Ftp.path_count t ~src:0 ~dst:2);
+  Alcotest.(check int) "cross pod" 4 (Ftp.path_count t ~src:0 ~dst:15);
+  (* the cut replaces the agg->core pipe with a channel hop: same length *)
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:1 in
+  let plain =
+    Fattree.create ~sim ~rng ~k:4 ~rate_bps:10e6 ~delay:0.001
+      ~buffer_pkts:100 ~discipline:Queue.Droptail ()
+  in
+  let len p = Array.length p.Tcp.fwd + Array.length p.Tcp.rev in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int) "hop count" (len (Fattree.all_paths plain ~src:0 ~dst:15).(i))
+        (len p))
+    (Ftp.all_paths t ~src:0 ~dst:15)
+
+let test_cut_k8 () =
+  let t = make_pods ~k:8 ~shards:4 () in
+  Alcotest.(check int) "hosts" 128 (Ftp.host_count t);
+  Alcotest.(check (list int)) "pod blocks" [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+    (List.map (Ftp.shard_of_pod t) [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  (* one channel per ordered shard pair, none on the diagonal *)
+  let chans = ref 0 in
+  for s = 0 to 3 do
+    for d = 0 to 3 do
+      match Ftp.channel t ~src:s ~dst:d with
+      | Some _ ->
+        incr chans;
+        Alcotest.(check bool) "off-diagonal" true (s <> d)
+      | None -> Alcotest.(check bool) "diagonal" true (s = d)
+    done
+  done;
+  Alcotest.(check int) "channel count" 12 !chans;
+  Alcotest.(check int) "cross pod paths" 16 (Ftp.path_count t ~src:0 ~dst:127)
+
+let test_cut_rejects_bad_shards () =
+  Alcotest.check_raises "3 does not divide 4"
+    (Invalid_argument
+       "Fattree_pods.create: shards must divide k (k = 4, shards = 3)")
+    (fun () -> ignore (make_pods ~k:4 ~shards:3 ()));
+  Alcotest.check_raises "more shards than pods"
+    (Invalid_argument
+       "Fattree_pods.create: shards must divide k (k = 4, shards = 8)")
+    (fun () -> ignore (make_pods ~k:4 ~shards:8 ()))
+
+(* --- merge order -------------------------------------------------------- *)
+
+let msg ~arrival ~src_shard ~chan_id ~chan_seq =
+  {
+    Shard.arrival; src_shard; chan_id; chan_seq; kind = Packet.Data;
+    pkt_seq = 0; flow = 0; subflow = 0; hop = 0; route = [||]; ackno = 0;
+    sack = None; sent_at = 0.; enqueued_at = 0.; echo = 0.;
+  }
+
+(* Per-channel batches (arrival non-decreasing, chan_seq increasing, as
+   the runtime produces them): the merged dispatch order is the unique
+   global (arrival, src_shard, chan_id, chan_seq) order, however the
+   batches are arranged. *)
+let prop_merge_is_sequential_order =
+  QCheck.Test.make ~name:"shard: merge = sequential dispatch order" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (pair (pair (int_range 0 3) (int_range 0 7))
+           (small_list (int_range 0 20))))
+    (fun chans ->
+      let batches =
+        List.mapi
+          (fun chan_id ((src_shard, _), deltas) ->
+            let t = ref 0. in
+            List.mapi
+              (fun chan_seq d ->
+                t := !t +. float_of_int d;
+                msg ~arrival:!t ~src_shard ~chan_id ~chan_seq)
+              deltas)
+          chans
+      in
+      let merged = Shard.merge batches in
+      let sequential = List.sort Shard.compare_msg (List.concat batches) in
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          Shard.compare_msg a b <= 0 && sorted rest
+        | _ -> true
+      in
+      merged = sequential && sorted merged
+      (* within a channel the runtime order (chan_seq) survives the merge *)
+      && List.for_all
+           (fun batch ->
+             let kept =
+               List.filter
+                 (fun m ->
+                   match batch with
+                   | [] -> false
+                   | b :: _ -> m.Shard.chan_id = b.Shard.chan_id)
+                 merged
+             in
+             List.map (fun m -> m.Shard.chan_seq) kept
+             = List.map (fun m -> m.Shard.chan_seq) batch)
+           batches)
+
+let test_windows () =
+  Alcotest.(check int) "exact" 10 (Shard.windows ~lookahead:0.001 ~horizon:0.01);
+  Alcotest.(check int) "ragged" 11 (Shard.windows ~lookahead:0.001 ~horizon:0.0101);
+  Alcotest.(check int) "sub-window" 1 (Shard.windows ~lookahead:1. ~horizon:0.5);
+  Alcotest.(check int) "empty" 0 (Shard.windows ~lookahead:1. ~horizon:0.)
+
+(* --- shards=1 ≡ sequential golden --------------------------------------- *)
+
+(* The same seed drives an uncut Fattree under Sim.run_until and a
+   shards=1 Fattree_pods under the window loop: identical construction,
+   identical RNG stream, so per-flow delivered counts match exactly. *)
+let run_workload ~mk_paths ~sim_of_host ~run ~seed =
+  let rng = Rng.create ~seed in
+  let hosts = 16 in
+  let flows =
+    Workload.permutation_long_flows ~rng:(Rng.split rng) ~hosts ~max_jitter:1.
+  in
+  let conns =
+    List.mapi
+      (fun i { Workload.start; src; dst; _ } ->
+        Tcp.create ~sim:(sim_of_host src)
+          ~cc:(Mptcp_repro.Cc.Olia.create ())
+          ~paths:(mk_paths ~rng ~src ~dst)
+          ~start ~flow_id:i ())
+      flows
+  in
+  run ();
+  List.map Tcp.total_acked conns
+
+let test_shards1_matches_sequential () =
+  let horizon = 3. in
+  let seq =
+    let sim = Sim.create () in
+    let rng = Rng.create ~seed:7 in
+    let tree =
+      Fattree.create ~sim ~rng ~k:4 ~rate_bps:10e6 ~delay:0.001
+        ~buffer_pkts:100 ~discipline:Queue.Droptail ()
+    in
+    run_workload ~seed:7
+      ~mk_paths:(fun ~rng ~src ~dst -> Fattree.sample_paths tree ~rng ~src ~dst ~n:2)
+      ~sim_of_host:(fun _ -> sim)
+      ~run:(fun () -> Sim.run_until sim horizon)
+  in
+  let sharded =
+    let t = make_pods ~k:4 ~shards:1 ~seed:7 () in
+    run_workload ~seed:7
+      ~mk_paths:(fun ~rng ~src ~dst -> Ftp.sample_paths t ~rng ~src ~dst ~n:2)
+      ~sim_of_host:(Ftp.sim_of_host t)
+      ~run:(fun () ->
+        Shard.run_windows ~pool:seq_pool (Ftp.group t) ~horizon)
+  in
+  Alcotest.(check (list int)) "per-flow delivered packets" seq sharded;
+  Alcotest.(check bool) "progress" true (List.exists (fun n -> n > 0) seq)
+
+(* --- shard-count invariance and determinism ----------------------------- *)
+
+let small_cfg shards =
+  { Fs.default with Fs.k = 4; shards; flows_per_host = 1; duration = 2.;
+    warmup = 0.5; seed = 3 }
+
+let test_invariance_bands () =
+  let r1 = Fs.run (small_cfg 1) in
+  let r2 = Fs.run (small_cfg 2) in
+  let rel a b = abs_float (a -. b) /. Stdlib.max (abs_float a) 1e-9 in
+  Alcotest.(check bool) "aggregate within 10%" true
+    (rel r1.Fs.aggregate_mbps r2.Fs.aggregate_mbps < 0.10);
+  Alcotest.(check bool) "median within 10%" true
+    (rel r1.Fs.p50_flow_mbps r2.Fs.p50_flow_mbps < 0.10);
+  Alcotest.(check int) "no cut traffic sequentially" 0 r1.Fs.cut_messages;
+  Alcotest.(check bool) "cut traffic sharded" true (r2.Fs.cut_messages > 0)
+
+let test_sharded_run_deterministic () =
+  let r1 = Fs.run (small_cfg 2) in
+  let r2 = Fs.run (small_cfg 2) in
+  Alcotest.(check (array (float 0.)) "per-flow goodput bitwise")
+    r1.Fs.flow_mbps r2.Fs.flow_mbps;
+  Alcotest.(check int) "cut messages" r1.Fs.cut_messages r2.Fs.cut_messages
+
+(* --- trace guard --------------------------------------------------------- *)
+
+let test_trace_guard_names_shards () =
+  let t = make_pods ~k:4 ~shards:2 () in
+  Mptcp_repro.Obs.Trace.set_sink (Some (fun _ -> ()));
+  Fun.protect
+    ~finally:(fun () -> Mptcp_repro.Obs.Trace.set_sink None)
+    (fun () ->
+      match
+        Shard.run_windows ~pool:seq_pool (Ftp.group t) ~horizon:0.01
+      with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument m ->
+        let mentions needle =
+          let lh = String.length m and ln = String.length needle in
+          let rec go i =
+            i + ln <= lh && (String.sub m i ln = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "names --shards" true (mentions "--shards"))
+
+let suite =
+  [
+    Alcotest.test_case "pod cut k=4" `Quick test_cut_k4;
+    Alcotest.test_case "pod cut k=8" `Quick test_cut_k8;
+    Alcotest.test_case "rejects bad shard counts" `Quick
+      test_cut_rejects_bad_shards;
+    QCheck_alcotest.to_alcotest prop_merge_is_sequential_order;
+    Alcotest.test_case "window count" `Quick test_windows;
+    Alcotest.test_case "shards=1 = sequential (golden)" `Slow
+      test_shards1_matches_sequential;
+    Alcotest.test_case "shard-count invariance bands" `Slow
+      test_invariance_bands;
+    Alcotest.test_case "sharded run deterministic" `Slow
+      test_sharded_run_deterministic;
+    Alcotest.test_case "trace guard names --shards" `Quick
+      test_trace_guard_names_shards;
+  ]
