@@ -881,6 +881,27 @@ let micro_estimates_once () =
       (Staged.stage (fun () ->
            ignore (lia_cc.Mptcp_repro.Cc.Types.increase ~views ~idx:1)))
   in
+  (* float-vs-fixed: the kernel twins next to their float models, same
+     four-subflow view, so the snapshot history tracks what the integer
+     arithmetic costs relative to the floats it mirrors *)
+  let olia_fp_cc = Mptcp_repro.Cc.Olia_fp.create () in
+  let olia_fp_inc =
+    Test.make ~name:"olia-fp: increase (4 subflows)"
+      (Staged.stage (fun () ->
+           ignore (olia_fp_cc.Mptcp_repro.Cc.Types.increase ~views ~idx:1)))
+  in
+  let balia_cc = Mptcp_repro.Cc.Balia.create () in
+  let balia_inc =
+    Test.make ~name:"balia: increase (4 subflows)"
+      (Staged.stage (fun () ->
+           ignore (balia_cc.Mptcp_repro.Cc.Types.increase ~views ~idx:1)))
+  in
+  let balia_fp_cc = Mptcp_repro.Cc.Balia_fp.create () in
+  let balia_fp_inc =
+    Test.make ~name:"balia-fp: increase (4 subflows)"
+      (Staged.stage (fun () ->
+           ignore (balia_fp_cc.Mptcp_repro.Cc.Types.increase ~views ~idx:1)))
+  in
   let scen_c_solve =
     Test.make ~name:"fluid: scenario C fixed point"
       (Staged.stage (fun () ->
@@ -915,7 +936,17 @@ let micro_estimates_once () =
   in
   let tests =
     Test.make_grouped ~name:"mptcp_repro"
-      [ calibrate; sim_heap; olia_inc; lia_inc; scen_c_solve; packet_sim ]
+      [
+        calibrate;
+        sim_heap;
+        olia_inc;
+        olia_fp_inc;
+        lia_inc;
+        balia_inc;
+        balia_fp_inc;
+        scen_c_solve;
+        packet_sim;
+      ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =

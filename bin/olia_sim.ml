@@ -889,8 +889,35 @@ let has_sub hay needle =
     let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
     go 0
 
-let run_check only out update_golden golden_dir =
-  if update_golden then begin
+(* The float-vs-fixed-point differential registry: every case names the
+   kernel source its integer side mirrors, and the report carries the
+   per-metric divergence next to its band. *)
+let run_diff only out =
+  let report = Ck.Diff.run_all ?only () in
+  List.iter
+    (fun (cr : Ck.Diff.case_report) ->
+      Printf.printf "%s %s (%s vs %s)\n"
+        (if cr.pass then "PASS" else "FAIL")
+        cr.case cr.float_algo cr.fixed_algo;
+      Printf.printf "  source: %s\n" cr.source;
+      List.iter
+        (fun (r : Ck.Diff.check_result) ->
+          Printf.printf
+            "  %s %-20s float %11.5g  fixed %11.5g  deviation %.4g (limit \
+             %.4g)\n"
+            (if r.pass then "ok  " else "FAIL")
+            r.metric r.float_value r.fixed_value r.deviation r.limit)
+        cr.results)
+    report.Ck.Diff.cases;
+  Option.iter (fun path -> Json.write ~path (Ck.Diff.report_to_json report)) out;
+  Printf.printf "diff-conformance: %d/%d checks within divergence bands\n"
+    (report.Ck.Diff.checks_total - report.Ck.Diff.checks_failed)
+    report.Ck.Diff.checks_total;
+  if not report.Ck.Diff.pass then exit 1
+
+let run_check only out update_golden golden_dir diff =
+  if diff then run_diff only out
+  else if update_golden then begin
     Ck.Golden.update_all ~dir:golden_dir;
     Printf.printf "golden traces re-recorded under %s/\n" golden_dir
   end
@@ -990,13 +1017,22 @@ let check_cmd =
     let doc = "Directory holding the golden trace files." in
     Arg.(value & opt string "test/golden" & info [ "golden-dir" ] ~docv:"DIR" ~doc)
   in
+  let diff =
+    let doc =
+      "Run the float-vs-fixed-point differential registry instead: the same \
+       seeded scenarios under each backend, divergence bands with kernel \
+       provenance, plus the per-ACK lockstep drivers."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
   let doc =
     "Differential conformance: packet simulations vs fluid-model tolerance \
-     bands, fault-recovery checks and golden-trace regression."
+     bands, fault-recovery checks and golden-trace regression (or, with \
+     $(b,--diff), float vs fixed-point congestion control)."
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const run_check $ only $ out_opt $ update_golden $ golden_dir)
+    Term.(const run_check $ only $ out_opt $ update_golden $ golden_dir $ diff)
 
 (* --- main ------------------------------------------------------------------ *)
 

@@ -1,0 +1,6 @@
+(** Integer twin of the kernel's BALIA ([net/mptcp/mptcp_balia.c],
+    linux-4.1 MPTCP tree): the mptcp_balia_recalc_ai fixed-point
+    arithmetic on {!Fixedpoint} primitives, surfaced through the float
+    CC interface. Selectable from the registry as ["balia-fp"]. *)
+
+val create : unit -> Cc_types.t

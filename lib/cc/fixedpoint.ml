@@ -1,0 +1,70 @@
+(* u64-style fixed-point primitives for the kernel-twin congestion
+   controls (net/mptcp/mptcp_olia.c, mptcp_balia.c of the linux-4.1
+   MPTCP tree, carried in SNIPPETS.md). The kernel computes on u64 with
+   explicit scale shifts; we compute on OCaml's native 63-bit int, which
+   holds every intermediate the kernel's own rescaling keeps under
+   2^62 — and saturates at [max_int] where a u64 would keep going, so
+   an overflowing product degrades an increase term towards zero
+   instead of wrapping.
+
+   All operands are nonnegative by convention, as in the kernel's u64
+   arithmetic; signs (OLIA's epsilon) are applied by the callers'
+   branches, never carried through these primitives. *)
+
+let scale = 10
+
+(* BALIA: alpha is carried in [alpha_scale] units; per-path rates are
+   shifted down [scale_num] bits at a time until the largest is below
+   [2^rate_scale_limit], so products of three rescaled rates fit. *)
+let alpha_scale = 10
+let rate_scale_limit = 25
+let scale_num = 5
+
+(* 1.0 at [scale] *)
+let one = 1 lsl scale
+
+(* The kernel bumps snd_cwnd by a full packet when mptcp_snd_cwnd_cnt
+   reaches (1 << scale) - 1: one cwnd step is 1023 cnt units. *)
+let cnt_wrap = (1 lsl scale) - 1
+
+(* div_u64 twin; a zero (or, here, negative) divisor yields 0 rather
+   than trapping. Kernel callers avoid the case with explicit floors
+   ("We have to avoid a zero-rate because it is used as a divisor"). *)
+let div_u64 num den = if den <= 0 then 0 else num / den
+
+let add_sat a b = if a > max_int - b then max_int else a + b
+
+let mul_sat a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+(* mptcp_olia_scale / mptcp_balia_scale twin: [v lsl n], saturating
+   where the kernel's u64 shift would overflow. *)
+let shift_sat v n = if v > max_int asr n then max_int else v lsl n
+let scale_sat v = shift_sat v scale
+
+(* How many [scale_num]-bit shifts bring [max_rate] at or below
+   2^rate_scale_limit — the kernel's num_scale_down loop. *)
+let rec num_scale_down_from m n =
+  if m > 1 lsl rate_scale_limit then num_scale_down_from (m asr scale_num) (n + 1)
+  else n
+
+let num_scale_down max_rate = num_scale_down_from max_rate 0
+
+(* Shift a rate down by [down] rescale steps. *)
+let rescale v down = v asr (scale_num * down)
+
+(* --- float boundary ---------------------------------------------------
+   Conversions between the float model's units and kernel units. These
+   are the only float-touching helpers of the fixed-point layer; the
+   *_fp twins call them exclusively from their [@olia.float_boundary]
+   adapters. *)
+
+(* Nearest [scale]-unit fixed-point value of a nonnegative float. *)
+let of_float_scaled x = int_of_float ((x *. float_of_int one) +. 0.5)
+let to_float_scaled v = float_of_int v /. float_of_int one
+
+(* Seconds to the kernel's srtt microseconds, floored at 1 so it can
+   serve as a divisor (mptcp_olia_sk_can_send requires srtt_us > 0). *)
+let usec_of_sec s =
+  let u = int_of_float (s *. 1e6) in
+  if u < 1 then 1 else u

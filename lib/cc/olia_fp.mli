@@ -1,0 +1,7 @@
+(** Integer twin of the kernel's OLIA ([net/mptcp/mptcp_olia.c],
+    linux-4.1 MPTCP tree): u64-style fixed-point update rules on
+    {!Fixedpoint} primitives, surfaced through the float CC interface
+    by thin [@olia.float_boundary] adapters. Selectable from the
+    registry as ["olia-fp"]. *)
+
+val create : unit -> Cc_types.t

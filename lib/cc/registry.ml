@@ -1,13 +1,15 @@
 let names =
-  [ "reno"; "lia"; "olia"; "balia"; "cubic"; "scalable"; "wvegas";
-    "coupled:<eps>" ]
+  [ "reno"; "lia"; "olia"; "olia-fp"; "balia"; "balia-fp"; "cubic";
+    "scalable"; "wvegas"; "coupled:<eps>" ]
 
 let create name =
   match name with
   | "reno" -> Reno.create ()
   | "lia" -> Lia.create ()
   | "olia" -> Olia.create ()
+  | "olia-fp" -> Olia_fp.create ()
   | "balia" -> Balia.create ()
+  | "balia-fp" -> Balia_fp.create ()
   | "cubic" -> Cubic.create ()
   | "scalable" -> Scalable.create ()
   | "wvegas" -> Wvegas.create ()

@@ -2,8 +2,9 @@
     and the bench harness. *)
 
 val names : string list
-(** All recognised names: ["reno"; "lia"; "olia"; "balia"; "cubic";
-    "scalable"; "wvegas"; "coupled:<eps>"]. *)
+(** All recognised names: ["reno"; "lia"; "olia"; "olia-fp"; "balia";
+    "balia-fp"; "cubic"; "scalable"; "wvegas"; "coupled:<eps>"]. The
+    [-fp] variants are the fixed-point kernel twins. *)
 
 val create : string -> Cc_types.t
 (** Fresh instance by name; ["coupled:0.5"] selects the ε-family.

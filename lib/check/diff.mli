@@ -1,0 +1,81 @@
+(** Differential conformance between the float congestion-control
+    model and its fixed-point kernel twins ([olia-fp], [balia-fp]).
+
+    Each case runs the same seeded scenario once per backend and bounds
+    how far the integer arithmetic may drift the measured metrics, or
+    drives both backends per-ACK through one prescribed schedule and
+    bounds the cwnd divergence of the trajectories. Every case carries
+    the kernel-source provenance of its fixed-point side. All runs are
+    seeded and deterministic, so {!run_all} yields byte-identical
+    reports across invocations. *)
+
+type tolerance =
+  | Rel of float  (** max relative float-vs-fixed deviation *)
+  | Bound of float  (** hard upper bound on the metric itself *)
+
+type check = { metric : string; tol : tolerance }
+
+type case = {
+  name : string;
+  doc : string;
+  source : string;  (** kernel provenance of the fixed-point side *)
+  float_algo : string;
+  fixed_algo : string;
+  checks : check list;
+  run : unit -> (string * float) list * (string * float) list;
+      (** metrics of the float run and of the fixed-point run *)
+}
+
+type lockstep_result = {
+  max_rel_divergence : float;
+      (** largest per-subflow relative cwnd divergence over the run,
+          after allowing the one packet the integer cwnd quantizes *)
+  final_float : float array;  (** per-subflow cwnd after the run *)
+  final_fixed : float array;
+}
+
+val lockstep :
+  ?steps:int -> float_algo:string -> fixed_algo:string -> unit ->
+  lockstep_result
+(** Drive both backends through an identical prescribed ACK/loss
+    schedule on two asymmetric synthetic subflows (no simulator, no
+    randomness; default 4000 steps). *)
+
+val cases : ?quick:bool -> unit -> case list
+(** The differential registry: scenarios A/B/C × \{OLIA, BALIA\} plus
+    the two per-ACK lockstep cases. [quick] shortens the scenario runs
+    (and widens the bands) for the test suite. *)
+
+type check_result = {
+  metric : string;
+  float_value : float;
+  fixed_value : float;
+  deviation : float;  (** relative deviation, or the bounded value *)
+  limit : float;
+  pass : bool;
+}
+
+type case_report = {
+  case : string;
+  doc : string;
+  source : string;
+  float_algo : string;
+  fixed_algo : string;
+  results : check_result list;
+  pass : bool;
+}
+
+type report = {
+  cases : case_report list;
+  pass : bool;
+  checks_total : int;
+  checks_failed : int;
+}
+
+val run_case : case -> case_report
+
+val run_all : ?only:string -> ?quick:bool -> unit -> report
+(** Run every case whose name contains [only] (all by default). *)
+
+val case_report_to_json : case_report -> Repro_stats.Json.t
+val report_to_json : report -> Repro_stats.Json.t

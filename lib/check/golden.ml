@@ -89,10 +89,35 @@ let fault_flap () =
   Fault.schedule_flap gate ~down_at:2. ~up_at:4.;
   Sim.run_until sim 120.
 
+(* The same two-path transfer on the fixed-point kernel twin: pins the
+   integer CC's event stream byte-for-byte, so every cwnd move the
+   scaled arithmetic produces is deterministic across runs (and trivially
+   across shard counts — the trace is a single-wheel run). *)
+let olia_fp_two_path () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  let q0 = mk_queue ~sim ~rng ~rate_bps:2e6 ~buffer_pkts:10 "gold-p0" in
+  let q1 = mk_queue ~sim ~rng ~rate_bps:1e6 ~buffer_pkts:6 "gold-p1" in
+  let pipe delay = Pipe.create ~sim ~delay in
+  let fwd0 = pipe one_way and rev0 = pipe one_way in
+  let fwd1 = pipe 0.035 and rev1 = pipe 0.035 in
+  let paths =
+    [|
+      { Tcp.fwd = [| Queue.hop q0; Pipe.hop fwd0 |]; rev = [| Pipe.hop rev0 |] };
+      { Tcp.fwd = [| Queue.hop q1; Pipe.hop fwd1 |]; rev = [| Pipe.hop rev1 |] };
+    |]
+  in
+  let _conn =
+    Tcp.create ~sim ~cc:(Repro_cc.Olia_fp.create ()) ~paths ~size_pkts:120
+      ~flow_id:0 ()
+  in
+  Sim.run_until sim 60.
+
 let scenarios =
   [
     ("reno-droptail", reno_droptail);
     ("olia-two-path", olia_two_path);
+    ("olia-fp-two-path", olia_fp_two_path);
     ("fault-flap", fault_flap);
   ]
 
@@ -219,7 +244,26 @@ let report_scen_b () =
     (fun () -> ignore (Repro_scenarios.Scen_b.run report_scen_b_config));
   Repro_obs.Report.to_json acc
 
-let report_scenarios = [ ("report-scen-b", report_scen_b) ]
+(* The Scenario B fixture again with the olia-fp backend: the golden
+   report is a pure function of the seed and the integer update rules,
+   so it pins the fixed-point path end to end through the flight
+   recorder. *)
+let report_scen_b_olia_fp () =
+  let acc = Repro_obs.Report.create () in
+  Trace.set_sink (Some (Repro_obs.Report.feed acc));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      ignore
+        (Repro_scenarios.Scen_b.run
+           { report_scen_b_config with algo = "olia-fp" }));
+  Repro_obs.Report.to_json acc
+
+let report_scenarios =
+  [
+    ("report-scen-b", report_scen_b);
+    ("report-scen-b-olia-fp", report_scen_b_olia_fp);
+  ]
 let report_names = List.map fst report_scenarios
 
 let record_report name =

@@ -1,8 +1,9 @@
 (** Golden-trace regression tests.
 
-    Three small canonical simulations — a Reno transfer through a tight
-    droptail bottleneck, an OLIA transfer over two asymmetric paths, and
-    a finite transfer through a flapping link — have their full
+    Four small canonical simulations — a Reno transfer through a tight
+    droptail bottleneck, an OLIA transfer over two asymmetric paths,
+    the same transfer on the [olia-fp] fixed-point kernel twin, and a
+    finite transfer through a flapping link — have their full
     {!Repro_obs.Trace} event streams recorded as JSONL under
     [test/golden/]. A {!check} re-runs the scenario and diffs the
     semantic event sequence against the recorded one, zeroing all

@@ -27,6 +27,9 @@ module Cc = struct
   module Olia = Repro_cc.Olia
   module Coupled = Repro_cc.Coupled
   module Balia = Repro_cc.Balia
+  module Fixedpoint = Repro_cc.Fixedpoint
+  module Olia_fp = Repro_cc.Olia_fp
+  module Balia_fp = Repro_cc.Balia_fp
   module Cubic = Repro_cc.Cubic
   module Scalable = Repro_cc.Scalable
   module Wvegas = Repro_cc.Wvegas
@@ -92,6 +95,7 @@ module Check = struct
   module Band = Repro_check.Band
   module Faults = Repro_check.Faults
   module Conformance = Repro_check.Conformance
+  module Diff = Repro_check.Diff
   module Golden = Repro_check.Golden
 end
 

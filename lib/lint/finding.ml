@@ -51,7 +51,9 @@ let rule_doc = function
      Exp.Sweep domains)"
   | R3 ->
     "float-hygiene: no structural =/<>/compare on float operands in \
-     lib/fluid and lib/cc"
+     lib/fluid and lib/cc; fixed-point twins (lib/cc/*_fp.ml) must keep \
+     floats out of their update paths entirely, except in \
+     [@olia.float_boundary] adapters"
   | R4 ->
     "output hygiene: lib/ never prints to stdout; results flow through \
      lib/stats emitters or Netsim.Monitor"

@@ -289,6 +289,67 @@ let check_r3 ~path structure =
   it.structure it structure;
   !found
 
+(* --- R3-fp: fixed-point twins are float-free -------------------------- *)
+
+(* The kernel-twin controllers ([lib/cc/*_fp.ml]) exist to mirror the
+   kernel's integer arithmetic bit for bit, so their update paths must
+   not touch floats at all — a stray [float_of_int] silently reintroduces
+   the rounding the twin is supposed to eliminate. Bindings marked
+   [@olia.float_boundary] are the sanctioned adapters between the float
+   [Cc_types.t] surface and the integer core, and are exempt. *)
+
+let scope_r3_fp path =
+  under [ "lib"; "cc" ] path
+  &&
+  let base = Filename.basename path in
+  Filename.check_suffix base "_fp.ml"
+
+let is_float_boundary attrs =
+  List.exists
+    (fun (a : attribute) -> a.attr_name.txt = "olia.float_boundary")
+    attrs
+
+(* Conversions that cross the int/float line without using float syntax:
+   the float lists above miss them because plain R3 only cares about
+   comparison operands. *)
+let r3_fp_conversions = [ "int_of_float"; "truncate"; "string_of_float" ]
+
+let check_r3_fp ~path structure =
+  let found = ref [] in
+  let emit loc what =
+    found :=
+      finding ~rule:Finding.R3 ~path loc
+        (Printf.sprintf
+           "%s in a fixed-point twin update path: kernel-twin arithmetic \
+            must stay integer (move the conversion into a \
+            [@olia.float_boundary] adapter)"
+           what)
+      :: !found
+  in
+  let expr self e =
+    (match e.pexp_desc with
+     | Pexp_constant (Pconst_float (lit, _)) ->
+       emit e.pexp_loc (Printf.sprintf "float literal %s" lit)
+     | Pexp_ident { txt; loc } ->
+       let name = canonical (lid_name txt) in
+       if
+         List.mem name float_ops || List.mem name float_fns
+         || List.mem name float_consts
+         || List.mem name r3_fp_conversions
+         || lid_root txt = "Float"
+       then emit loc name
+     | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let value_binding self vb =
+    if is_float_boundary (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes)
+    then ()
+    else Ast_iterator.default_iterator.value_binding self vb
+  in
+  let it = { Ast_iterator.default_iterator with expr; value_binding } in
+  it.structure it structure;
+  !found
+
 (* --- R4: output hygiene ---------------------------------------------- *)
 
 let r4_banned =
@@ -604,8 +665,9 @@ let check_structure ~path structure =
   let r1 = if scope_r1 path then check_r1 ~path structure else [] in
   let r2 = if scope_r2 path then check_r2 ~path structure else [] in
   let r3 = if scope_r3 path then check_r3 ~path structure else [] in
+  let r3_fp = if scope_r3_fp path then check_r3_fp ~path structure else [] in
   let r4 = if scope_r4 path then check_r4 ~path structure else [] in
   let r6 = if scope_r6 path then check_r6 ~path structure else [] in
   let r7 = if scope_r7 path then check_r7 ~path structure else [] in
   let r8 = if scope_r8 path then check_r8 ~path structure else [] in
-  r1 @ r2 @ r3 @ r4 @ r6 @ r7 @ r8
+  r1 @ r2 @ r3 @ r3_fp @ r4 @ r6 @ r7 @ r8

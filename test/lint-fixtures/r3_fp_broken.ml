@@ -1,0 +1,14 @@
+(* Deliberately broken fixed-point twin: float arithmetic leaks into the
+   integer update path. test_lint re-paths this under lib/cc/ with an
+   _fp.ml basename so the R3-fp sub-check arms; each float touch in the
+   unannotated core is one finding, the annotated adapter is exempt. *)
+
+let scale = 10
+let rate w rtt_us = if rtt_us <= 0 then 0 else (w lsl scale) / rtt_us
+
+(* four findings: conversion, float literal, float operator, float fn *)
+let increase w rtt_us = int_of_float (0.5 +. float_of_int (rate w rtt_us))
+
+(* the sanctioned adapter between the float surface and the integer
+   core: exempt despite its floats *)
+let[@olia.float_boundary] to_surface w = float_of_int w /. 1024.

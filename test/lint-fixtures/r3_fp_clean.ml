@@ -1,0 +1,13 @@
+(* The clean twin of r3_fp_broken.ml: the update path is pure integer
+   arithmetic and every float touch lives in a [@olia.float_boundary]
+   adapter, so the R3-fp sub-check stays silent. *)
+
+let scale = 10
+let rate w rtt_us = if rtt_us <= 0 then 0 else (w lsl scale) / rtt_us
+let cnt w rtt_us = rate w rtt_us * rate w rtt_us
+
+let[@olia.float_boundary] sync w =
+  let scaled = int_of_float ((w *. 1024.) +. 0.5) in
+  if scaled < 1 then 1 else scaled
+
+let[@olia.float_boundary] to_surface w = float_of_int w /. 1024.

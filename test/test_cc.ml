@@ -253,7 +253,7 @@ let test_registry_known () =
     (fun name ->
       let cc = Registry.create name in
       Alcotest.(check string) "name round trip" name cc.Types.name)
-    [ "reno"; "lia"; "olia"; "balia" ]
+    [ "reno"; "lia"; "olia"; "olia-fp"; "balia"; "balia-fp" ]
 
 let test_registry_coupled () =
   let cc = Registry.create "coupled:0.5" in

@@ -157,6 +157,78 @@ let test_report_json_shape () =
         && List.assoc "bands_failed" fields = Json.Int 0)
   | _ -> Alcotest.fail "report must be a JSON object"
 
+(* --- differential conformance (float vs fixed-point) -------------------- *)
+
+(* The full diff registry (12 packet simulations of 60 s each) runs
+   under the CI diff-conformance step via [olia_sim check --diff]; the
+   suite exercises the quick profile (shorter runs, wider bands) and
+   the simulator-free lockstep driver. *)
+
+let test_diff_scenario_cases_pass () =
+  let report = Ck.Diff.run_all ~only:"diff/a" ~quick:true () in
+  Alcotest.(check int) "olia and balia twins" 2
+    (List.length report.Ck.Diff.cases);
+  List.iter
+    (fun (cr : Ck.Diff.case_report) ->
+      List.iter
+        (fun (r : Ck.Diff.check_result) ->
+          if not r.pass then
+            Alcotest.failf "%s/%s: deviation %g over limit %g" cr.case
+              r.metric r.deviation r.limit)
+        cr.results)
+    report.Ck.Diff.cases;
+  Alcotest.(check bool) "within bands" true report.Ck.Diff.pass
+
+let test_diff_scenario_bc_cases_pass () =
+  List.iter
+    (fun only ->
+      let report = Ck.Diff.run_all ~only ~quick:true () in
+      Alcotest.(check int) (only ^ ": olia and balia twins") 2
+        (List.length report.Ck.Diff.cases);
+      Alcotest.(check bool) (only ^ ": within bands") true
+        report.Ck.Diff.pass)
+    [ "diff/b"; "diff/c" ]
+
+let test_diff_lockstep_bounded () =
+  List.iter
+    (fun (float_algo, fixed_algo) ->
+      let r = Ck.Diff.lockstep ~float_algo ~fixed_algo () in
+      Alcotest.(check bool)
+        (fixed_algo ^ ": cwnd trajectories stay close") true
+        (r.Ck.Diff.max_rel_divergence < 0.25);
+      Array.iteri
+        (fun i wf ->
+          let wi = r.Ck.Diff.final_fixed.(i) in
+          let dev = abs_float (wf -. wi) /. Stdlib.max wf 1. in
+          if dev > 0.25 then
+            Alcotest.failf "%s sf%d: final cwnd %g vs %g" fixed_algo i wf wi)
+        r.Ck.Diff.final_float)
+    [ ("olia", "olia-fp"); ("balia", "balia-fp") ]
+
+let test_diff_lockstep_cases_pass () =
+  let report = Ck.Diff.run_all ~only:"lockstep" () in
+  Alcotest.(check int) "two lockstep cases" 2
+    (List.length report.Ck.Diff.cases);
+  Alcotest.(check bool) "bounded divergence" true report.Ck.Diff.pass
+
+let test_diff_report_deterministic () =
+  let render () =
+    Json.to_string (Ck.Diff.report_to_json (Ck.Diff.run_all ~only:"lockstep" ()))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical diff reports" a b
+
+let test_diff_provenance_present () =
+  List.iter
+    (fun (c : Ck.Diff.case) ->
+      Alcotest.(check bool)
+        (c.name ^ ": cites the kernel source")
+        true
+        (String.length c.source > 0
+        && String.length c.float_algo > 0
+        && String.length c.fixed_algo > 0))
+    (Ck.Diff.cases ~quick:true ())
+
 (* --- fluid residual invariants ------------------------------------------ *)
 
 let with_fluid_invariants f =
@@ -342,6 +414,18 @@ let suite =
       test_missing_metric_fails;
     Alcotest.test_case "conformance: report JSON shape" `Quick
       test_report_json_shape;
+    Alcotest.test_case "diff: scenario A float vs fixed" `Slow
+      test_diff_scenario_cases_pass;
+    Alcotest.test_case "diff: scenarios B and C float vs fixed" `Slow
+      test_diff_scenario_bc_cases_pass;
+    Alcotest.test_case "diff: lockstep cwnd divergence bounded" `Quick
+      test_diff_lockstep_bounded;
+    Alcotest.test_case "diff: lockstep cases pass" `Quick
+      test_diff_lockstep_cases_pass;
+    Alcotest.test_case "diff: deterministic report" `Quick
+      test_diff_report_deterministic;
+    Alcotest.test_case "diff: kernel provenance present" `Quick
+      test_diff_provenance_present;
     Alcotest.test_case "equilibrium: armed solve passes" `Quick
       test_armed_solve_passes;
     Alcotest.test_case "equilibrium: mis-converged point trips" `Quick

@@ -1,0 +1,147 @@
+(* Property-based tests of the fixed-point primitives backing the
+   kernel-twin congestion controllers ([olia-fp]/[balia-fp]): scale
+   round-trips, the div_u64 zero-divisor guard, saturation behaviour,
+   overflow-freedom below the BALIA rescale limit, and monotonicity of
+   the OLIA scaled increase term. *)
+
+module Fp = Mptcp_repro.Cc.Fixedpoint
+
+let ulp = 1. /. float_of_int Fp.one
+
+(* --- scale round-trips -------------------------------------------------- *)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"fixedpoint: of/to_float_scaled round-trip <= ulp"
+    ~count:500
+    QCheck.(float_bound_inclusive 1e6)
+    (fun x ->
+      let y = Fp.to_float_scaled (Fp.of_float_scaled x) in
+      abs_float (y -. x) <= ulp)
+
+let prop_int_round_trip =
+  QCheck.Test.make ~name:"fixedpoint: integers survive the scale exactly"
+    ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun n ->
+      Fp.of_float_scaled (float_of_int n) = n * Fp.one
+      && Float.equal (Fp.to_float_scaled (n * Fp.one)) (float_of_int n))
+
+(* --- div_u64 guard ------------------------------------------------------ *)
+
+let prop_div_guard =
+  QCheck.Test.make ~name:"fixedpoint: div_u64 guards zero divisors"
+    ~count:200
+    QCheck.(pair (int_range 0 max_int) (int_range (-5) 5))
+    (fun (n, d) ->
+      let q = Fp.div_u64 n d in
+      if d <= 0 then q = 0 else q = n / d)
+
+(* The kernel floors OLIA's rate accumulator at 1 before squaring, so
+   a guarded-to-zero division can never zero the whole rate. *)
+let prop_rate_floor =
+  QCheck.Test.make ~name:"fixedpoint: rate floor survives guarded division"
+    ~count:100
+    QCheck.(int_range 0 max_int)
+    (fun n ->
+      let rate = Fp.add_sat 1 (Fp.div_u64 n 0) in
+      rate = 1 && Fp.mul_sat rate rate >= 1)
+
+(* --- saturation --------------------------------------------------------- *)
+
+let prop_saturation =
+  QCheck.Test.make ~name:"fixedpoint: products saturate instead of wrapping"
+    ~count:300
+    QCheck.(pair (int_range 0 max_int) (int_range 0 max_int))
+    (fun (a, b) ->
+      let p = Fp.mul_sat a b in
+      let s = Fp.add_sat a b in
+      p >= 0 && s >= 0
+      && (b = 0 || p >= a || p = max_int)
+      && (s >= a || s = max_int)
+      && Fp.mul_sat a b = Fp.mul_sat b a)
+
+let prop_shift_saturation =
+  QCheck.Test.make ~name:"fixedpoint: scale_sat saturates at max_int"
+    ~count:200
+    QCheck.(int_range 0 max_int)
+    (fun v ->
+      let s = Fp.scale_sat v in
+      if v > max_int asr Fp.scale then s = max_int else s = v lsl Fp.scale)
+
+(* --- BALIA rescale limit ------------------------------------------------ *)
+
+(* After the kernel's rescale loop (num_scale_down steps of scale_num
+   bits), the largest rate sits at or below 2^rate_scale_limit, so the
+   squared sum of any two rescaled rates stays far from saturation:
+   (2 * 2^25)^2 = 2^52 < 2^62. *)
+let prop_no_overflow_below_rescale_limit =
+  QCheck.Test.make
+    ~name:"fixedpoint: rescaled rates square without saturating" ~count:300
+    QCheck.(pair (int_range 1 (1 lsl 60)) (int_range 1 (1 lsl 60)))
+    (fun (r1, r2) ->
+      let max_rate = Stdlib.max r1 r2 in
+      let down = Fp.num_scale_down max_rate in
+      let s1 = Fp.rescale r1 down and s2 = Fp.rescale r2 down in
+      Fp.rescale max_rate down <= 1 lsl Fp.rate_scale_limit
+      && Fp.mul_sat (Fp.add_sat s1 s2) (Fp.add_sat s1 s2) < max_int)
+
+let prop_num_scale_down_minimal =
+  QCheck.Test.make ~name:"fixedpoint: num_scale_down takes minimal steps"
+    ~count:300
+    QCheck.(int_range 1 (1 lsl 60))
+    (fun v ->
+      let down = Fp.num_scale_down v in
+      Fp.rescale v down <= 1 lsl Fp.rate_scale_limit
+      && (down = 0
+         || Fp.rescale v (down - 1) > 1 lsl Fp.rate_scale_limit))
+
+(* --- OLIA scaled increase term ------------------------------------------ *)
+
+(* The eps = 0 branch of the kernel's cnt update contributes
+   cwnd_scaled^2 << scale / (cwnd * rate) = w * 2^(3*scale) / rate per
+   ACK: for a fixed rate the scaled increase must be monotone in the
+   window, or the controller would slow its own growth. *)
+let scaled_increase w rate =
+  let w_scaled = Fp.scale_sat w in
+  Fp.div_u64
+    (Fp.shift_sat (Fp.mul_sat w_scaled w_scaled) Fp.scale)
+    (Fp.mul_sat w rate)
+
+let prop_increase_monotone =
+  QCheck.Test.make
+    ~name:"fixedpoint: OLIA scaled increase is monotone in cwnd" ~count:300
+    QCheck.(pair (int_range 1 60_000) (int_range 1 (1 lsl 30)))
+    (fun (w, rate) -> scaled_increase w rate <= scaled_increase (w + 1) rate)
+
+(* --- float agreement ---------------------------------------------------- *)
+
+(* A scaled product agrees with the float product to within the
+   accumulated rounding of the two operands (one ulp each, amplified by
+   the other operand, plus the final truncation). *)
+let prop_product_agrees_with_float =
+  QCheck.Test.make ~name:"fixedpoint: scaled product tracks float product"
+    ~count:500
+    QCheck.(pair (float_bound_inclusive 32.) (float_bound_inclusive 32.))
+    (fun (a, b) ->
+      let fp =
+        Fp.to_float_scaled
+          (Fp.div_u64
+             (Fp.mul_sat (Fp.of_float_scaled a) (Fp.of_float_scaled b))
+             Fp.one)
+      in
+      abs_float (fp -. (a *. b)) <= (a +. b +. 1.) *. ulp)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_round_trip;
+      prop_int_round_trip;
+      prop_div_guard;
+      prop_rate_floor;
+      prop_saturation;
+      prop_shift_saturation;
+      prop_no_overflow_below_rescale_limit;
+      prop_num_scale_down_minimal;
+      prop_increase_monotone;
+      prop_product_agrees_with_float;
+    ]

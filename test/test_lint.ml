@@ -568,6 +568,31 @@ let fixture name =
   let local = Filename.concat "lint-fixtures" name in
   if Sys.file_exists local then local else Filename.concat "test" local
 
+let slurp name =
+  let ic = open_in_bin (fixture name) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The R3-fp sub-check arms on the _fp.ml basename under lib/cc, so the
+   fixtures are read off disk and re-pathed (same trick as R10). *)
+let test_r3_fp_fires () =
+  let content = slurp "r3_fp_broken.ml" in
+  check_count "each float touch in the update path is a finding"
+    Finding.R3 4
+    (Engine.lint_sources [ { Engine.path = "lib/cc/fixture_fp.ml"; content } ]);
+  check_count "the same code without the twin basename is quiet"
+    Finding.R3 0
+    (Engine.lint_sources [ { Engine.path = "lib/cc/fixture.ml"; content } ]);
+  check_count "and outside lib/cc too" Finding.R3 0
+    (Engine.lint_sources
+       [ { Engine.path = "lib/netsim/fixture_fp.ml"; content } ])
+
+let test_r3_fp_boundary_exempt () =
+  let content = slurp "r3_fp_clean.ml" in
+  check_count "float-boundary adapters are exempt" Finding.R3 0
+    (Engine.lint_sources [ { Engine.path = "lib/cc/fixture_fp.ml"; content } ])
+
 let test_fixture_parse_resilience () =
   let n, fs = Engine.lint_paths [ fixture "malformed.ml"; fixture "r9_broken.ml" ] in
   Alcotest.(check int) "both files scanned" 2 n;
@@ -684,6 +709,10 @@ let suite =
     Alcotest.test_case "R11 respects guards" `Quick test_r11_guarded_silent;
     Alcotest.test_case "R11 sort sanitizes table order" `Quick
       test_r11_sort_sanitizes;
+    Alcotest.test_case "R3-fp fires on floats in twin update paths" `Quick
+      test_r3_fp_fires;
+    Alcotest.test_case "R3-fp exempts float-boundary adapters" `Quick
+      test_r3_fp_boundary_exempt;
     Alcotest.test_case "fixtures: parse failure is contained" `Quick
       test_fixture_parse_resilience;
     Alcotest.test_case "fixtures: broken hot path is caught" `Quick

@@ -5,6 +5,7 @@ let () =
       ("fluid", Test_fluid.suite);
       ("equilibrium", Test_equilibrium.suite);
       ("cc", Test_cc.suite);
+      ("fixedpoint", Test_fixedpoint.suite);
       ("netsim", Test_netsim.suite);
       ("timer", Test_timer.suite);
       ("tcp", Test_tcp.suite);
