@@ -1030,6 +1030,57 @@ let scenario_wall_entries () =
       ~units:"s_wall/s_sim";
   ]
 
+(* ----- trace emission: armed vs disarmed -------------------------------- *)
+
+(* ns per emission through the instrumentation-site idiom (guard with
+   Trace.enabled, then the scalar emitter). Disarmed is the cost every
+   simulation always pays — one ref read — and armed-ring is the
+   fixed-width record write into a bound per-domain ring, Drop_oldest
+   wraparound included. Tracked as two snapshot entries so the gate
+   catches both a fattened guard and a ring writer that starts
+   allocating or locking. *)
+let trace_micro_entries () =
+  let iters = 2_000_000 in
+  let time f =
+    (* best-of-4, same rationale as micro_estimates: noise only adds time *)
+    let best = ref infinity in
+    for _ = 1 to 4 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Stdlib.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best /. float_of_int iters *. 1e9
+  in
+  let burst () =
+    for i = 1 to iters do
+      if Obs.Trace.enabled () then
+        Obs.Trace.rtt_sample
+          ~time:(float_of_int i *. 1e-6)
+          ~flow:0 ~subflow:0 ~rtt:0.01 ~srtt:0.02
+    done
+  in
+  let disarmed = time burst in
+  Obs.Trace.arm_rings ~capacity:(1 lsl 16) ();
+  Obs.Trace.bind_ring ~shard:0;
+  Obs.Trace.set_dispatch_ctx ~sched:0. ~cls:1 ~flow:0 ~subflow:0 ~pseq:0
+    ~kind:0;
+  let armed = time burst in
+  Obs.Trace.disarm_rings ();
+  [
+    Obs.Snapshot.entry ~name:"micro/trace/emit-disarmed" ~value:disarmed
+      ~units:"ns/event";
+    Obs.Snapshot.entry ~name:"micro/trace/emit-armed-ring" ~value:armed
+      ~units:"ns/event";
+  ]
+
+let trace_micro () =
+  section "Micro - trace emission, armed ring vs disarmed guard";
+  List.iter
+    (fun (e : Obs.Snapshot.entry) ->
+      Printf.printf "%-32s %8.2f %s\n" e.Obs.Snapshot.name e.Obs.Snapshot.value
+        e.Obs.Snapshot.units)
+    (trace_micro_entries ())
+
 (* ----- macro FatTree: sharded vs sequential ----------------------------- *)
 
 (* Wall-clock per simulated second of the fattree-sharded scenario, run
@@ -1046,26 +1097,32 @@ let fattree_macro_shards () = if !quick then 2 else 4
 
 let fattree_macro_walls () =
   let cfg = fattree_macro_cfg () in
-  (* best-of-3, same rationale as micro_estimates: noise only adds time *)
-  let time shards =
+  (* best-of-3, same rationale as micro_estimates: noise only adds time.
+     The traced leg arms per-worker rings around each rep (Drop_oldest:
+     wrap rather than fail — the records are discarded, only the
+     emission cost is under measurement). *)
+  let time ?(traced = false) shards =
     let rec go i best =
       if i >= 3 then best
       else begin
+        if traced then Obs.Trace.arm_rings ~capacity:(1 lsl 19) ();
         let t0 = Unix.gettimeofday () in
         ignore
           (S.Fattree_sharded.run { cfg with S.Fattree_sharded.shards }
             : S.Fattree_sharded.result);
-        go (i + 1) (Stdlib.min best (Unix.gettimeofday () -. t0))
+        let dt = Unix.gettimeofday () -. t0 in
+        if traced then Obs.Trace.disarm_rings ();
+        go (i + 1) (Stdlib.min best dt)
       end
     in
     go 0 infinity
   in
   let seq = time 1 in
   let shards = fattree_macro_shards () in
-  (cfg, shards, seq, time shards)
+  (cfg, shards, seq, time shards, time ~traced:true shards)
 
 let fattree_macro_entries () =
-  let cfg, shards, seq, shd = fattree_macro_walls () in
+  let cfg, shards, seq, shd, traced = fattree_macro_walls () in
   let per_sim wall = wall /. cfg.S.Fattree_sharded.duration in
   [
     Obs.Snapshot.entry ~name:"macro/fattree/sequential" ~value:(per_sim seq)
@@ -1073,16 +1130,20 @@ let fattree_macro_entries () =
     Obs.Snapshot.entry
       ~name:(Printf.sprintf "macro/fattree/shards%d" shards)
       ~value:(per_sim shd) ~units:"s_wall/s_sim";
+    Obs.Snapshot.entry
+      ~name:(Printf.sprintf "macro/fattree/shards%d-traced" shards)
+      ~value:(per_sim traced) ~units:"s_wall/s_sim";
   ]
 
 let macro_fattree () =
   section "Macro - FatTree sharded vs sequential wall-clock";
-  let cfg, shards, seq, shd = fattree_macro_walls () in
+  let cfg, shards, seq, shd, traced = fattree_macro_walls () in
   Printf.printf
     "k=%d, %d flows, %g simulated seconds\n\
      sequential   %.2f s wall (%.3f s_wall/s_sim)\n\
      %d shards    %.2f s wall (%.3f s_wall/s_sim)\n\
-     speedup      %.2fx\n"
+     speedup      %.2fx\n\
+     traced       %.2f s wall (ring tracing overhead %.1f%%)\n"
     cfg.S.Fattree_sharded.k
     (cfg.S.Fattree_sharded.k * cfg.S.Fattree_sharded.k
      * cfg.S.Fattree_sharded.k / 4
@@ -1091,7 +1152,8 @@ let macro_fattree () =
     (seq /. cfg.S.Fattree_sharded.duration)
     shards shd
     (shd /. cfg.S.Fattree_sharded.duration)
-    (seq /. shd)
+    (seq /. shd) traced
+    (100. *. ((traced /. shd) -. 1.))
 
 let contains_substring ~needle hay =
   let nn = String.length needle and nh = String.length hay in
@@ -1112,6 +1174,7 @@ let take_snapshot () =
             ~units:"ns/run")
       (micro_estimates ~reps:3 ())
     @ scenario_wall_entries ()
+    @ trace_micro_entries ()
     @ fattree_macro_entries ()
   in
   Obs.Snapshot.v ~quick:!quick entries
@@ -1193,6 +1256,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablation-wireless", "wireless bonding (ref. [12])", ablation_wireless);
     ("ablation-seeds", "seed stability", ablation_seeds);
     ("micro", "Bechamel micro-benchmarks", micro);
+    ("micro-trace", "trace emission, armed ring vs disarmed", trace_micro);
     ("macro-fattree", "FatTree sharded vs sequential wall-clock", macro_fattree);
   ]
 

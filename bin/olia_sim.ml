@@ -131,42 +131,71 @@ let profile_opt =
 
 module Obs = Mptcp_repro.Obs
 
-(* Arm the trace sink for the duration of [f]: a JSONL writer, a live
-   report accumulator, or a tee into both. *)
-let with_obs_sinks ~trace ~report f =
-  let acc = if report then Some (Obs.Report.create ()) else None in
-  match (trace, acc) with
-  | None, None -> (None, f ())
-  | Some path, None ->
-    let r = Obs.Trace.with_jsonl ~path f in
-    (None, r)
-  | _ ->
-    let oc = Option.map open_out trace in
-    let sink ev =
-      Option.iter
-        (fun oc ->
-          output_string oc
-            (Mptcp_repro.Stats.Json.to_string (Obs.Trace.to_json ev));
-          output_char oc '\n')
-        oc;
-      Option.iter (fun a -> Obs.Report.feed a ev) acc
-    in
-    Obs.Trace.set_sink (Some sink);
-    let r =
-      Fun.protect
-        ~finally:(fun () ->
-          Obs.Trace.set_sink None;
-          Option.iter close_out oc)
-        f
-    in
-    (acc, r)
+let trace_ring_opt =
+  let doc =
+    "Capacity of each per-domain trace ring, in records (default 262144). \
+     Rings are pre-allocated and drop their oldest records on overflow; \
+     the run warns if anything was dropped — raise this if it does."
+  in
+  Arg.(
+    value
+    & opt int (1 lsl 18)
+    & info [ "trace-ring" ] ~docv:"RECORDS" ~doc)
+
+let write_events_jsonl ~path events =
+  let oc = open_out path in
+  List.iter
+    (fun ev ->
+      output_string oc
+        (Mptcp_repro.Stats.Json.to_string (Obs.Trace.to_json ev));
+      output_char oc '\n')
+    events;
+  close_out oc
+
+(* Arm tracing for the duration of [f] via per-domain binary rings: the
+   calling domain binds ring 0 (single-loop scenarios emit into it),
+   sharded scenarios bind one ring per worker inside the window loop,
+   and after the run the rings decode — in exact sequential event
+   order, whatever the shard count — into the JSONL file and/or the
+   live report accumulator. *)
+let with_obs_sinks ~trace ~report ~ring_capacity f =
+  if trace = None && not report then (None, f ())
+  else begin
+    Obs.Trace.arm_rings ~capacity:ring_capacity ();
+    Obs.Trace.bind_ring ~shard:0;
+    match f () with
+    | exception e ->
+      Obs.Trace.disarm_rings ();
+      raise e
+    | r ->
+      let events = Obs.Trace.decode_rings () in
+      let dropped = Obs.Trace.rings_dropped () in
+      Obs.Trace.disarm_rings ();
+      if dropped > 0 then
+        Printf.eprintf
+          "warning: trace rings dropped %d events (oldest first); re-run \
+           with a larger --trace-ring for a complete trace\n\
+           %!"
+          dropped;
+      Option.iter (fun path -> write_events_jsonl ~path events) trace;
+      let acc =
+        if report then begin
+          let a = Obs.Report.create () in
+          List.iter (Obs.Report.feed a) events;
+          Some a
+        end
+        else None
+      in
+      (acc, r)
+  end
 
 let shards_opt =
   let doc =
     "Simulation shards (OCaml domains), for scenarios with a $(b,shards) \
      parameter such as fattree-sharded. Shorthand for $(b,-p shards=N). \
-     Results are shard-count-invariant; $(b,--trace) requires \
-     $(b,--shards 1) because the trace sink is process-global."
+     Results are bitwise shard-count-invariant, and $(b,--trace) works at \
+     any shard count: each domain records into its own ring and the \
+     decoded trace is byte-identical to the $(b,--shards 1) trace."
   in
   Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
 
@@ -178,7 +207,7 @@ let sharded_scenario_names () =
     (fun n -> has_shards_param (S.Registry.find n))
     S.Registry.names
 
-let run_generic name params shards out trace report format profile =
+let run_generic name params shards out trace trace_ring report format profile =
   try
     let (module Sc : S.Registry.SCENARIO) = S.Registry.find name in
     let bindings = List.map (E.Spec.parse_assign Sc.spec) params in
@@ -201,8 +230,8 @@ let run_generic name params shards out trace report format profile =
       Obs.Profile.set_enabled true
     end;
     let acc, outcome =
-      with_obs_sinks ~trace ~report:(Option.is_some report) (fun () ->
-          Sc.run bindings)
+      with_obs_sinks ~trace ~report:(Option.is_some report)
+        ~ring_capacity:trace_ring (fun () -> Sc.run bindings)
     in
     if profile then Obs.Profile.set_enabled false;
     Option.iter (fun path -> Printf.printf "wrote trace %s\n" path) trace;
@@ -236,9 +265,16 @@ let run_generic name params shards out trace report format profile =
             Printf.printf "wrote report %s\n" path)
           report)
       acc;
-    if profile then
+    if profile then begin
       Mptcp_repro.Stats.Table.print
         (Obs.Profile.to_table (Obs.Profile.report ()));
+      (* the per-shard breakdown only says something when more than one
+         domain accumulated dispatches *)
+      match Obs.Profile.report_by_shard () with
+      | [] | [ _ ] -> ()
+      | by_shard ->
+        Mptcp_repro.Stats.Table.print (Obs.Profile.to_shard_table by_shard)
+    end;
     `Ok ()
   with Invalid_argument msg -> `Error (false, msg)
 
@@ -248,7 +284,7 @@ let run_cmd =
     Term.(
       ret
         (const run_generic $ scenario_pos $ params_opt $ shards_opt $ out_opt
-        $ trace_opt $ report_opt $ format_opt $ profile_opt))
+        $ trace_opt $ trace_ring_opt $ report_opt $ format_opt $ profile_opt))
 
 (* --- report: offline trace analysis ------------------------------------- *)
 
@@ -675,15 +711,41 @@ let fluid_cmd =
 
 module Json = Mptcp_repro.Stats.Json
 
+(* One traced run of the sharded FatTree: arm per-domain rings, run,
+   decode back to JSONL lines. The decoded sequence is the gate's raw
+   material — [--traced] byte-compares the N-shard decode against the
+   1-shard decode. *)
+let traced_lines cfg ~ring_capacity s =
+  Obs.Trace.arm_rings ~capacity:ring_capacity ();
+  match S.Fattree_sharded.run (cfg s) with
+  | exception e ->
+    Obs.Trace.disarm_rings ();
+    raise e
+  | (_ : S.Fattree_sharded.result) ->
+    let events = Obs.Trace.decode_rings () in
+    let dropped = Obs.Trace.rings_dropped () in
+    Obs.Trace.disarm_rings ();
+    if dropped > 0 then
+      invalid_arg
+        (Printf.sprintf
+           "shard-invariance: trace rings dropped %d events at --shards %d; \
+            raise --trace-ring so the byte comparison sees complete traces"
+           dropped s);
+    List.map (fun ev -> Json.to_string (Obs.Trace.to_json ev)) events
+
 (* Run the sharded FatTree scenario at --shards 1 and --shards N with the
    same seed, compare banded metrics (the CI gate for the conservative
-   lookahead runtime) and report the wall-clock speedup. *)
+   lookahead runtime) and report the wall-clock speedup. With [--traced],
+   also run both shard counts with trace rings armed and require the
+   decoded traces to be byte-identical — the strongest form of the
+   invariance claim. *)
 let run_shard_invariance k shards flows_per_host subflows rate algo duration
-    warmup seed tolerance min_speedup out =
+    warmup seed tolerance min_speedup traced trace_ring trace_out out =
   try
     if shards < 2 then
       invalid_arg "shard-invariance: --shards must be >= 2 (it is compared \
                    against a --shards 1 baseline)";
+    let traced = traced || Option.is_some trace_out in
     let cfg s =
       { S.Fattree_sharded.k; shards = s; rate_mbps = rate; delay_ms = 1.;
         subflows; flows_per_host; algo; duration; warmup; seed }
@@ -747,6 +809,37 @@ let run_shard_invariance k shards flows_per_host subflows rate algo duration
       Printf.printf "FAIL speedup %.2fx < required %.2fx\n" speedup min_speedup
     else if min_speedup > 0. then
       Printf.printf "ok   speedup %.2fx >= %.2fx\n" speedup min_speedup;
+    let trace_result =
+      if not traced then None
+      else begin
+        Printf.printf
+          "running traced legs (ring capacity %d records/domain) ...\n%!"
+          trace_ring;
+        let base_lines = traced_lines cfg ~ring_capacity:trace_ring 1 in
+        let shd_lines = traced_lines cfg ~ring_capacity:trace_ring shards in
+        let identical = base_lines = shd_lines in
+        Printf.printf
+          "%s traced decode: %d events at shards=1, %d at shards=%d -- %s\n"
+          (if identical then "ok  " else "FAIL")
+          (List.length base_lines) (List.length shd_lines) shards
+          (if identical then "byte-identical" else "traces diverge");
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              shd_lines;
+            close_out oc;
+            Printf.printf "wrote decoded sharded trace %s\n" path)
+          trace_out;
+        Some (List.length base_lines, List.length shd_lines, identical)
+      end
+    in
+    let trace_pass =
+      match trace_result with None -> true | Some (_, _, ok) -> ok
+    in
     let json =
       let result_json (r : S.Fattree_sharded.result) wall =
         Json.Obj
@@ -764,7 +857,7 @@ let run_shard_invariance k shards flows_per_host subflows rate algo duration
           ]
       in
       Json.Obj
-        [
+        ([
           ("scenario", Json.String "fattree-sharded");
           ("k", Json.Int k);
           ("shards", Json.Int shards);
@@ -803,17 +896,30 @@ let run_shard_invariance k shards flows_per_host subflows rate algo duration
                  checks) );
           ("metrics_pass", Json.Bool metrics_pass);
           ("speedup_pass", Json.Bool speedup_pass);
-          ("pass", Json.Bool (metrics_pass && speedup_pass));
         ]
+        @ (match trace_result with
+          | None -> []
+          | Some (nb, ns, identical) ->
+            [
+              ( "trace",
+                Json.Obj
+                  [
+                    ("baseline_events", Json.Int nb);
+                    ("sharded_events", Json.Int ns);
+                    ("byte_identical", Json.Bool identical);
+                  ] );
+            ])
+        @ [ ("pass", Json.Bool (metrics_pass && speedup_pass && trace_pass)) ])
     in
     Option.iter
       (fun path ->
         Json.write ~path json;
         Printf.printf "wrote %s\n" path)
       out;
-    if metrics_pass && speedup_pass then begin
+    if metrics_pass && speedup_pass && trace_pass then begin
       Printf.printf
-        "shard-invariance: PASS (metrics within bands, speedup %.2fx)\n"
+        "shard-invariance: PASS (metrics within bands%s, speedup %.2fx)\n"
+        (if traced then ", traces byte-identical" else "")
         speedup;
       `Ok ()
     end
@@ -856,11 +962,25 @@ let shard_invariance_cmd =
            ~doc:"Fail unless sharded wall-clock speedup reaches $(docv) \
                  (0 = report only).")
   in
+  let traced =
+    Arg.(value & flag
+         & info [ "traced" ]
+             ~doc:"Also run both shard counts with trace rings armed and \
+                   fail unless the decoded N-shard trace is byte-identical \
+                   to the --shards 1 trace.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the decoded sharded trace (JSONL) to $(docv) for \
+                   artifact upload; implies $(b,--traced).")
+  in
   let doc =
     "CI gate: run the fattree-sharded scenario at --shards 1 and --shards \
      N with one seed, fail if banded metrics diverge (shard-count \
      invariance of the conservative-lookahead runtime), and report the \
-     wall-clock speedup."
+     wall-clock speedup. With $(b,--traced), additionally require the \
+     decoded sharded trace to be byte-identical to the --shards 1 trace."
   in
   let man =
     [
@@ -868,6 +988,8 @@ let shard_invariance_cmd =
       `P "olia_sim shard-invariance --shards 4 --out report.json";
       `P "olia_sim shard-invariance --k 4 --flows-per-host 2 -d 2 \
           --min-speedup 1.2";
+      `P "olia_sim shard-invariance --k 4 --flows-per-host 2 -d 2 --traced \
+          --trace-out decoded.jsonl";
     ]
   in
   Cmd.v
@@ -876,7 +998,7 @@ let shard_invariance_cmd =
       ret
         (const run_shard_invariance $ k_arg $ shards $ flows_per_host
         $ subflows $ rate $ algo $ duration $ warmup $ seed $ tolerance
-        $ min_speedup $ out_opt))
+        $ min_speedup $ traced $ trace_ring_opt $ trace_out $ out_opt))
 
 (* --- check ----------------------------------------------------------------- *)
 

@@ -114,15 +114,6 @@ let pool thunks =
   end
 
 let run ?domains (module Sc : Scenario_intf.S) pts_list =
-  (* The trace sink is process-global, so a traced multi-domain sweep
-     would interleave events from unrelated runs into one stream.
-     Refuse up front rather than produce a garbage trace. *)
-  if Repro_obs.Trace.enabled () then
-    invalid_arg
-      "Sweep.run: tracing is armed but the trace sink is process-global; \
-       disarm tracing (or unset OLIA_TRACE) before running a sweep, and \
-       trace a single `olia_sim run` instead (with --shards 1 if the \
-       scenario is sharded -- sharded runs refuse tracing the same way)";
   let pts = Array.of_list pts_list in
   let n = Array.length pts in
   let requested =
@@ -133,9 +124,23 @@ let run ?domains (module Sc : Scenario_intf.S) pts_list =
   let workers = Stdlib.max 1 (Stdlib.min requested n) in
   if workers <= 1 then run_seq (module Sc) pts_list
   else begin
+    (* The variant trace sink is process-global, so a sink-traced
+       multi-domain sweep would interleave events from unrelated runs
+       into one stream — refuse rather than produce a mixed trace.
+       Ring-mode tracing is per-worker (each domain binds its own
+       ring), so it runs; the decoder attributes records to worker
+       rings, and a per-point trace is still best taken from a single
+       `olia_sim run`. *)
+    if Repro_obs.Trace.sink_armed () then
+      invalid_arg
+        "Sweep.run: a variant trace sink is armed and is process-global; \
+         close it (or unset OLIA_TRACE) before a parallel sweep, arm trace \
+         rings instead, or trace a single `olia_sim run`";
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker w () =
+      if Repro_obs.Trace.rings_armed () then Repro_obs.Trace.bind_ring ~shard:w;
+      Repro_obs.Profile.bind ~shard:w;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -145,7 +150,7 @@ let run ?domains (module Sc : Scenario_intf.S) pts_list =
       in
       loop ()
     in
-    pool (Array.init workers (fun _ -> worker));
+    pool (Array.init workers (fun w -> worker w));
     Array.to_list
       (Array.mapi
          (fun i o ->

@@ -69,7 +69,20 @@ let last2 name =
   | f :: m :: _ -> m ^ "." ^ f
   | _ -> name
 
-let guard_fns = [ "Invariant.enabled"; "Trace.enabled"; "Profile.enabled" ]
+(* [Trace.sink_armed] guards the variant-sink fallback inside the
+   scalar emission functions: the branch allocates the event record,
+   but only runs in sink mode (single-domain, explicitly armed), so it
+   is pruned from the R9 proof exactly like armed invariants. The bare
+   [sink_armed] entry matches the unqualified calls inside Trace
+   itself ([last2] keeps a lone identifier as-is). *)
+let guard_fns =
+  [
+    "Invariant.enabled";
+    "Trace.enabled";
+    "Trace.sink_armed";
+    "sink_armed";
+    "Profile.enabled";
+  ]
 let error_fns = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ]
 
 let allocating_fns =
@@ -126,6 +139,18 @@ let wall_clock_fns = [ "Unix.gettimeofday"; "Sys.time" ]
 let sink_fns =
   [
     "Trace.emit";
+    (* the ring writer: the scalar armed-emission entry points persist
+       whatever reaches them into the binary trace, so nondeterminism
+       flowing in here is just as unreproducible as a Trace.emit *)
+    "Trace.pkt_enqueue";
+    "Trace.pkt_drop";
+    "Trace.pkt_forward";
+    "Trace.tcp_state";
+    "Trace.cwnd_update";
+    "Trace.rto_fired";
+    "Trace.rtt_sample";
+    "Trace.subflow_add";
+    "Trace.subflow_remove";
     "Json.to_string";
     "Json.write";
     "Csv.write_rows";

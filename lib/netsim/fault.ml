@@ -15,7 +15,7 @@ type mode =
 type t = {
   sim : Sim.t;
   rng : Rng.t;
-  name : string;
+  name_id : int;
   mutable mode : mode;
   mutable dropped : int;
   mutable reordered : int;
@@ -23,7 +23,15 @@ type t = {
 }
 
 let create ~sim ~rng ?(name = "fault") () =
-  { sim; rng; name; mode = Up; dropped = 0; reordered = 0; passed = 0 }
+  {
+    sim;
+    rng;
+    name_id = Trace.intern name;
+    mode = Up;
+    dropped = 0;
+    reordered = 0;
+    passed = 0;
+  }
 
 let mode t = t.mode
 let is_down t = match t.mode with Down -> true | _ -> false
@@ -47,17 +55,10 @@ let set_mode t mode =
 let drop t (p : Packet.t) =
   t.dropped <- t.dropped + 1;
   if Trace.enabled () then
-    Trace.emit
-      (Trace.Pkt_drop
-         {
-           time = Sim.now t.sim;
-           queue = t.name;
-           flow = p.flow;
-           subflow = p.subflow;
-           seq = p.seq;
-           kind = Packet.kind_name p;
-           cause = Trace.Link_down;
-         });
+    Trace.pkt_drop ~time:(Sim.now t.sim) ~queue:t.name_id ~flow:p.flow
+      ~subflow:p.subflow ~seq:p.seq
+      ~kind:(Packet.kind_code p.kind)
+      ~cause:Trace.Link_down;
   Packet.free p
 
 let hop t (p : Packet.t) =

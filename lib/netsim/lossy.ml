@@ -4,7 +4,7 @@ type t = {
   rng : Rng.t;
   loss_prob : float;
   sim : Sim.t option;  (* for trace timestamps only *)
-  name : string;
+  name_id : int;
   mutable dropped : int;
   mutable passed : int;
 }
@@ -12,7 +12,7 @@ type t = {
 let create ?sim ?(name = "lossy") ~rng ~loss_prob () =
   if loss_prob < 0. || loss_prob >= 1. then
     invalid_arg "Lossy.create: loss_prob must be in [0, 1)";
-  { rng; loss_prob; sim; name; dropped = 0; passed = 0 }
+  { rng; loss_prob; sim; name_id = Trace.intern name; dropped = 0; passed = 0 }
 
 let hop t (p : Packet.t) =
   match p.kind with
@@ -21,17 +21,11 @@ let hop t (p : Packet.t) =
     if Rng.float t.rng < t.loss_prob then begin
       t.dropped <- t.dropped + 1;
       if Trace.enabled () then
-        Trace.emit
-          (Trace.Pkt_drop
-             {
-               time = (match t.sim with Some s -> Sim.now s | None -> nan);
-               queue = t.name;
-               flow = p.flow;
-               subflow = p.subflow;
-               seq = p.seq;
-               kind = Packet.kind_name p;
-               cause = Trace.Random_loss;
-             });
+        Trace.pkt_drop
+          ~time:(match t.sim with Some s -> Sim.now s | None -> nan)
+          ~queue:t.name_id ~flow:p.flow ~subflow:p.subflow ~seq:p.seq
+          ~kind:(Packet.kind_code p.kind)
+          ~cause:Trace.Random_loss;
       Packet.free p
     end
     else begin

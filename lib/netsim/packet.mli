@@ -62,6 +62,10 @@ val ack_size : int
 val kind_name : t -> string
 (** ["data"] or ["ack"], for trace events. *)
 
+val kind_code : kind -> int
+(** [Data] is 0, [Ack] is 1: the fixed integer encoding used by the
+    binary trace rings and the scheduler's content tie-break. *)
+
 val data : flow:int -> subflow:int -> seq:int -> sent_at:float ->
   route:hop array -> t
 (** A data packet positioned at the first hop of [route], drawn from the

@@ -29,6 +29,7 @@ type t = {
   buffer_pkts : int;
   discipline : discipline;
   name : string;
+  name_id : int; (* [Trace.intern name], so armed emission never touches the string *)
   (* FIFO as a ring over a preallocated array (the backlog is bounded
      by [buffer_pkts]), so enqueue/dequeue never allocate. [sentinel]
      parks empty slots so the ring doesn't retain forwarded packets. *)
@@ -117,18 +118,11 @@ and[@olia.alloc_free] finish_service t =
   if is_data p then t.dbg_data_done <- t.dbg_data_done + 1;
   t.dbg_service_data <- false;
   if Trace.enabled () then
-    Trace.emit
-      (Trace.Pkt_forward
-         {
-           time = Sim.now t.sim;
-           queue = t.name;
-           flow = p.flow;
-           subflow = p.subflow;
-           seq = p.seq;
-           kind = Packet.kind_name p;
-           bytes = p.size_bytes;
-           qdelay = Sim.now t.sim -. p.times.enqueued_at;
-         });
+    Trace.pkt_forward ~time:(Sim.now t.sim) ~queue:t.name_id ~flow:p.flow
+      ~subflow:p.subflow ~seq:p.seq
+      ~kind:(Packet.kind_code p.kind)
+      ~bytes:p.size_bytes
+      ~qdelay:(Sim.now t.sim -. p.times.enqueued_at);
   Packet.forward p;
   serve t;
   check_invariants t
@@ -145,6 +139,7 @@ let create ~sim ~rng ~rate_bps ~buffer_pkts ~discipline ?(name = "queue") () =
       buffer_pkts;
       discipline;
       name;
+      name_id = Trace.intern name;
       ring = Array.make buffer_pkts sentinel;
       sentinel;
       head = 0;
@@ -236,17 +231,10 @@ let[@olia.alloc_free] enqueue t (p : Packet.t) =
       t.dbg_data_dropped <- t.dbg_data_dropped + 1
     end;
     if Trace.enabled () then
-      Trace.emit
-        (Trace.Pkt_drop
-           {
-             time = Sim.now t.sim;
-             queue = t.name;
-             flow = p.flow;
-             subflow = p.subflow;
-             seq = p.seq;
-             kind = Packet.kind_name p;
-             cause = (if overflow then Trace.Overflow else Trace.Red_early);
-           });
+      Trace.pkt_drop ~time:(Sim.now t.sim) ~queue:t.name_id ~flow:p.flow
+        ~subflow:p.subflow ~seq:p.seq
+        ~kind:(Packet.kind_code p.kind)
+        ~cause:(if overflow then Trace.Overflow else Trace.Red_early);
     Packet.free p
   end
   else begin
@@ -255,17 +243,10 @@ let[@olia.alloc_free] enqueue t (p : Packet.t) =
     t.count <- t.count + 1;
     t.backlog <- t.backlog + 1;
     if Trace.enabled () then
-      Trace.emit
-        (Trace.Pkt_enqueue
-           {
-             time = Sim.now t.sim;
-             queue = t.name;
-             flow = p.flow;
-             subflow = p.subflow;
-             seq = p.seq;
-             kind = Packet.kind_name p;
-             backlog = t.backlog;
-           });
+      Trace.pkt_enqueue ~time:(Sim.now t.sim) ~queue:t.name_id ~flow:p.flow
+        ~subflow:p.subflow ~seq:p.seq
+        ~kind:(Packet.kind_code p.kind)
+        ~backlog:t.backlog;
     if not t.busy then serve t
   end;
   check_invariants t

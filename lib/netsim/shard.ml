@@ -1,8 +1,19 @@
 module Trace = Repro_obs.Trace
+module Profile = Repro_obs.Profile
 
 type msg = {
   arrival : float;
+  egress : float;
+      (* source-shard clock at the send: the instant the sequential
+         run's propagation pipe would have armed the delivery timer.
+         Passed to [Sim.schedule_pkt_at_sched] so the destination wheel
+         breaks same-instant ties exactly like the sequential run. *)
   src_shard : int;
+  src_seq : int;
+      (* send index across ALL of the source shard's channels: the
+         order in which the egress hops executed on the source domain,
+         i.e. the order in which the sequential run would have armed
+         these deliveries. The merge tie-break after (arrival, egress). *)
   chan_id : int;
   chan_seq : int;
   kind : Packet.kind;
@@ -24,6 +35,9 @@ type channel = {
   chan_id : int;
   latency : float;
   src_sim : Sim.t;
+  src_counter : int ref;
+      (* shared across all channels leaving the same shard; touched
+         only by the source domain *)
   (* [seq] is touched only by the source domain (inside its window);
      [inbox] is the cross-domain hand-off and is the only field both
      sides touch, always under [lock]. Messages are pushed in send
@@ -36,6 +50,7 @@ type channel = {
 type t = {
   sims : Sim.t array;
   lookahead : float;
+  counters : int ref array;  (* per-shard send counters, one per source *)
   mutable channels : channel list;  (* reverse registration order *)
 }
 
@@ -44,7 +59,7 @@ let create ~sims ~lookahead =
   if n = 0 then invalid_arg "Shard.create: no shards";
   if n > 1 && not (Float.is_finite lookahead && lookahead > 0.) then
     invalid_arg "Shard.create: lookahead must be finite and positive";
-  { sims; lookahead; channels = [] }
+  { sims; lookahead; counters = Array.init n (fun _ -> ref 0); channels = [] }
 
 let shard_count t = Array.length t.sims
 let sim t i = t.sims.(i)
@@ -69,6 +84,7 @@ let open_channel t ~src ~dst ?latency () =
       chan_id = List.length t.channels;
       latency;
       src_sim = t.sims.(src);
+      src_counter = t.counters.(src);
       seq = 0;
       lock = Mutex.create ();
       inbox = [];
@@ -83,10 +99,15 @@ let open_channel t ~src ~dst ?latency () =
    The destination reads the packet's payload only through the message,
    never the (pooled, domain-local) packet record itself. *)
 let send ch (p : Packet.t) =
+  let egress = Sim.now ch.src_sim in
+  let src_seq = !(ch.src_counter) in
+  ch.src_counter := src_seq + 1;
   let m =
     {
-      arrival = Sim.now ch.src_sim +. ch.latency;
+      arrival = egress +. ch.latency;
+      egress;
       src_shard = ch.src_shard;
+      src_seq;
       chan_id = ch.chan_id;
       chan_seq = ch.seq;
       kind = p.Packet.kind;
@@ -115,11 +136,11 @@ let compare_msg a b =
   let c = Float.compare a.arrival b.arrival in
   if c <> 0 then c
   else
-    let c = Int.compare a.src_shard b.src_shard in
+    let c = Float.compare a.egress b.egress in
     if c <> 0 then c
     else
-      let c = Int.compare a.chan_id b.chan_id in
-      if c <> 0 then c else Int.compare a.chan_seq b.chan_seq
+      let c = Int.compare a.src_shard b.src_shard in
+      if c <> 0 then c else Int.compare a.src_seq b.src_seq
 
 let merge batches = List.sort compare_msg (List.concat batches)
 
@@ -149,7 +170,8 @@ let deliver sim (m : msg) =
   p.Packet.times.Packet.enqueued_at <- m.enqueued_at;
   let at = Stdlib.max m.arrival (Sim.now sim) in
   ignore
-    (Sim.schedule_pkt_at ~src:"shard.ingress" sim at Packet.forward p
+    (Sim.schedule_pkt_at_sched ~src:"shard.ingress" sim ~sched:m.egress at
+       Packet.forward p
       : Sim.Timer.t)
 
 (* A sense-reversing barrier on a mutex + condition. Two waits per
@@ -206,21 +228,22 @@ let run_windows ~pool t ~horizon =
   if not (Float.is_finite horizon && horizon >= 0.) then
     invalid_arg "Shard.run_windows: horizon must be finite and non-negative";
   let n = Array.length t.sims in
+  (* Tracing and profiling are per-worker: each domain binds its own
+     trace ring (when rings are armed) and tags its profile table with
+     its shard id, so the window loop runs armed with no shared sink.
+     The sink mode (a process-global callback) stays single-domain
+     only; sharded runs trace through rings. *)
   if n = 1 then begin
     (* one shard: no channels can exist (open_channel rejects src = dst),
        so the window loop degenerates to chained run_until calls — run
        the single call directly on the calling domain. Chained and
        single run_until are bitwise identical, which is what the
        shards=1 ≡ sequential golden pins down. *)
+    if Trace.rings_armed () then Trace.bind_ring ~shard:0;
+    Profile.bind ~shard:0;
     Sim.run_until t.sims.(0) horizon
   end
   else begin
-    if Trace.enabled () then
-      invalid_arg
-        "Shard.run_windows: tracing is armed but the trace sink is \
-         process-global; a sharded run would interleave the domains' \
-         events arbitrarily. Re-run with --shards 1 to trace, or disarm \
-         tracing (unset OLIA_TRACE) for the sharded run";
     (* per-destination ingress lists, in registration order so the
        pre-merge concatenation order is deterministic (the sort makes it
        immaterial, but determinism should not hang on that) *)
@@ -230,15 +253,22 @@ let run_windows ~pool t ~horizon =
       t.channels;
     let nw = windows ~lookahead:t.lookahead ~horizon in
     let barrier = Barrier.create n in
+    let barrier_wait =
+      if Profile.enabled () then fun () ->
+        Profile.dispatch ~src:"shard.barrier" (fun () -> Barrier.wait barrier)
+      else fun () -> Barrier.wait barrier
+    in
     let worker i () =
+      if Trace.rings_armed () then Trace.bind_ring ~shard:i;
+      Profile.bind ~shard:i;
       let sim = t.sims.(i) in
       let ing = ingress.(i) in
       for w = 1 to nw do
         drain ing sim;
-        Barrier.wait barrier;
+        barrier_wait ();
         Sim.run_until sim
           (Stdlib.min horizon (float_of_int w *. t.lookahead));
-        Barrier.wait barrier
+        barrier_wait ()
       done
     in
     pool (Array.init n (fun i -> worker i))

@@ -24,11 +24,14 @@
     [(arrival, src_shard, channel, channel_seq)] order before being
     scheduled, so the schedule-order tie-break of {!Sim} is a pure
     function of the simulation state — results are reproducible for a
-    given (seed, shard count). Different shard counts tie-break
-    same-instant events differently, so cross-shard-count comparisons
-    are banded, not bitwise; a one-shard group is bitwise identical to
-    an unsharded run because windowed [run_until] calls chain exactly
-    like a single call. *)
+    given (seed, shard count). Moreover each delivery carries its
+    source-shard egress time as the [(time, sched, seq)] tie-break key
+    of {!Sim.schedule_pkt_at_sched} — the same key the sequential run's
+    propagation pipe produces — so same-instant events dispatch in the
+    sequential order regardless of shard count, and a sharded run is
+    bitwise identical to the unsharded one. A one-shard group is
+    trivially so because windowed [run_until] calls chain exactly like
+    a single call. *)
 
 type t
 (** A shard group: the sims, their channels and the lookahead. *)
@@ -43,7 +46,18 @@ type channel
     property tests. *)
 type msg = {
   arrival : float;  (** absolute delivery time on the destination sim *)
+  egress : float;
+      (** source-shard clock at the send — the instant the sequential
+          run's propagation pipe would have armed the delivery timer.
+          Passed as the [~sched] tie-break key to
+          {!Sim.schedule_pkt_at_sched} so sharded and sequential runs
+          order same-instant arrivals identically. *)
   src_shard : int;
+  src_seq : int;
+      (** send index across all of the source shard's channels — the
+          order in which the egress hops executed on the source domain,
+          i.e. the order in which the sequential run would have armed
+          these deliveries *)
   chan_id : int;  (** registration index of the carrying channel *)
   chan_seq : int;  (** per-channel send sequence number *)
   kind : Packet.kind;
@@ -91,9 +105,11 @@ val sent_count : channel -> int
 (** Messages sent so far (source-domain view). *)
 
 val compare_msg : msg -> msg -> int
-(** The deterministic merge order: [(arrival, src_shard, chan_id,
-    chan_seq)], lexicographically. A total order on distinct
-    messages. *)
+(** The deterministic merge order: [(arrival, egress, src_shard,
+    src_seq)], lexicographically — arrival first so deliveries schedule
+    in dispatch order, then the sequential run's arming order (egress
+    instant, then send order within it). A total order on distinct
+    messages from the runtime ([src_seq] is unique per source shard). *)
 
 val merge : msg list list -> msg list
 (** Merge per-channel FIFO batches into dispatch order — the order in
@@ -112,9 +128,11 @@ val run_windows :
     to use the sweep engine's domain plumbing, or a sequential pool for
     single-domain tests — the results are identical by construction;
     with a single shard the loop degenerates to chained [run_until]
-    calls on the calling domain). Raises [Invalid_argument] if tracing
-    is armed while the group has more than one shard: the trace sink is
-    process-global, so a sharded traced run would interleave the
-    domains' events arbitrarily — re-run with [--shards 1] to trace, or
-    disarm tracing ([OLIA_TRACE]) for the sharded run. Worker
+    calls on the calling domain). Tracing and profiling are
+    per-worker: when trace rings are armed ([Trace.arm_rings]) each
+    worker binds its own ring under its shard id — the decoded merge
+    reproduces the sequential event order — and each worker's profile
+    table is tagged with its shard (barrier wait accounted under
+    ["shard.barrier"]). The process-global variant sink stays
+    single-domain only; arm rings to trace sharded runs. Worker
     exceptions are re-raised after all domains have been joined. *)

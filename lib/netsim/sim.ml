@@ -2,22 +2,28 @@
 
    Time is quantised to integer nanosecond ticks for *placement* only:
    the wheel orders events between slots, and each slot is drained into
-   a "due" buffer sorted by the exact [(float time, seq)] pair, so
-   dispatch order is identical to the old binary heap's and the tick
-   quantisation is never observable. Four levels of 256 slots with a
-   level-0 granularity of 2^16 ns span ~3.26 simulated days; events
-   beyond that live in a sorted spill list, and every spill tick is
-   strictly greater than every wheel tick so the two never interleave.
+   a "due" buffer sorted by the exact [float] dispatch key, so the tick
+   quantisation is never observable. The key is [(time, sched,
+   content, seq)]: [sched] is the clock value at the moment the timer
+   was armed (cross-shard deliveries pass their source-shard egress
+   time instead — see [schedule_pkt_at_sched]), and [content] orders
+   same-instant packet deliveries by the packet's own header so that
+   dispatch order does not depend on the shard count (see the dispatch
+   order comment below). Four levels of 256 slots with a level-0
+   granularity of 2^16 ns span ~3.26 simulated days; events beyond that
+   live in a sorted spill list, and every spill tick is strictly
+   greater than every wheel tick so the two never interleave.
 
    Cells are a pool indexed by small ints. The seven int fields of a
    cell are packed at stride 8 in one [int array] (one cache line per
-   cell) and its two float fields at stride 2 in one [floatarray]
+   cell) and its three float fields at stride 4 in one [floatarray]
    (unboxed stores); the free list threads through the [next] field. A
    [Timer.t] handle packs the cell index with a generation stamp into
    one immediate int, so arming, firing, cancelling and re-arming a
    timer allocates nothing. *)
 
 module Profile = Repro_obs.Profile
+module Trace = Repro_obs.Trace
 
 let bits = 8
 let slots_per_level = 1 lsl bits (* 256 *)
@@ -66,7 +72,8 @@ let o_kind = 7 (* 1 when the callback is the packet fn, else 0 *)
 type t = {
   (* --- cell pool (all grown together) --- *)
   mutable cap : int;
-  mutable fl_ : floatarray; (* stride 2: exact fire time; period *)
+  mutable fl_ : floatarray;
+      (* stride 4: exact fire time; period; scheduling time; (unused) *)
   mutable ints_ : int array; (* stride 8: the o_* fields above *)
   mutable fn_ : (unit -> unit) array;
   mutable pfn_ : (Packet.t -> unit) array;
@@ -78,7 +85,7 @@ type t = {
   summ : int array; (* per level: bit w set iff occ word w is nonzero *)
   mutable spill_head : int;
   mutable cur : int; (* wheel position: tick at the current slot base *)
-  (* --- due buffer: the current slot, sorted by (time, seq) --- *)
+  (* --- due buffer: the current slot, kept in dispatch order --- *)
   mutable due : int array;
   mutable due_head : int;
   mutable due_len : int;
@@ -88,9 +95,10 @@ type t = {
       (* one slot; a [mutable clock : float] field in this mixed record
          would box on every store — one minor alloc per dispatch *)
   stage : floatarray;
-      (* one slot: staging area for passing a deadline into the
-         out-of-line scheduler without a float argument (float args box
-         at call boundaries the inliner declines to erase) *)
+      (* two slots: staging area for passing the deadline (slot 0) and
+         the scheduling time (slot 1) into the out-of-line scheduler
+         without float arguments (float args box at call boundaries the
+         inliner declines to erase) *)
   mutable next_seq : int;
   mutable len : int; (* pending timers *)
   mutable processed : int;
@@ -115,7 +123,7 @@ let create () =
   init_cells ints_ ~from:0 ~until:cap;
   {
     cap;
-    fl_ = Float.Array.make (cap * 2) 0.;
+    fl_ = Float.Array.make (cap * 4) 0.;
     ints_;
     fn_ = Array.make cap nop;
     pfn_ = Array.make cap pnop;
@@ -131,7 +139,7 @@ let create () =
     due_len = 0;
     sentinel;
     clk = Float.Array.make 1 0.;
-    stage = Float.Array.make 1 0.;
+    stage = Float.Array.make 2 0.;
     next_seq = 0;
     len = 0;
     processed = 0;
@@ -149,10 +157,12 @@ let max_heap_depth t = t.max_depth
 
 (* --- cell field accessors --- *)
 
-let[@inline] get_time t c = Float.Array.unsafe_get t.fl_ (c * 2)
-let[@inline] set_time t c v = Float.Array.unsafe_set t.fl_ (c * 2) v
-let[@inline] get_period t c = Float.Array.unsafe_get t.fl_ ((c * 2) + 1)
-let[@inline] set_period t c v = Float.Array.unsafe_set t.fl_ ((c * 2) + 1) v
+let[@inline] get_time t c = Float.Array.unsafe_get t.fl_ (c lsl 2)
+let[@inline] set_time t c v = Float.Array.unsafe_set t.fl_ (c lsl 2) v
+let[@inline] get_period t c = Float.Array.unsafe_get t.fl_ ((c lsl 2) + 1)
+let[@inline] set_period t c v = Float.Array.unsafe_set t.fl_ ((c lsl 2) + 1) v
+let[@inline] get_sched t c = Float.Array.unsafe_get t.fl_ ((c lsl 2) + 2)
+let[@inline] set_sched t c v = Float.Array.unsafe_set t.fl_ ((c lsl 2) + 2) v
 let[@inline] get_tick t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_tick)
 let[@inline] set_tick t c v = Array.unsafe_set t.ints_ ((c lsl 3) + o_tick) v
 let[@inline] get_seq t c = Array.unsafe_get t.ints_ ((c lsl 3) + o_seq)
@@ -183,8 +193,8 @@ let grow t =
     a
   in
   (* lint: allow R9 -- same amortized growth as [gi] above *)
-  let fl = Float.Array.make (cap' * 2) 0. in
-  Float.Array.blit t.fl_ 0 fl 0 (cap * 2);
+  let fl = Float.Array.make (cap' * 4) 0. in
+  Float.Array.blit t.fl_ 0 fl 0 (cap * 4);
   t.fl_ <- fl;
   t.ints_ <- gi t.ints_ 0 (cap * 8) (cap' * 8);
   init_cells t.ints_ ~from:cap ~until:cap';
@@ -226,7 +236,75 @@ let cell_of t h =
     then c
     else nil
 
-(* --- due buffer: cells of the current slot, (time, seq)-sorted --- *)
+(* --- dispatch order ---
+
+   Cells sort by [(time, sched)] first; at a full tie, closure timers
+   dispatch before packet deliveries, packet deliveries order by their
+   packet's own header fields, and arming order ([seq]) is the last
+   resort. The content key is what makes sharded runs deterministic: a
+   cross-shard arrival is re-materialized with exactly the header the
+   sequential run's packet would carry at that hop, so breaking
+   same-instant ties on content — rather than on arming order, which
+   depends on when the window drain ran — keeps sharded dispatch
+   identical to sequential dispatch. Same-instant collisions are common,
+   not exotic: a backlogged queue emits packets on a lattice of
+   transmission-time multiples, so disjoint equal-latency paths
+   re-synchronize packets to exactly equal floats. Header comparisons
+   use native int/float compares only, so scheduling stays
+   allocation-free. *)
+
+let pkt_cmp (a : Packet.t) (b : Packet.t) =
+  if a == b then 0
+  else
+    let c = Int.compare a.Packet.flow b.Packet.flow in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.Packet.subflow b.Packet.subflow in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.Packet.seq b.Packet.seq in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare
+              (Packet.kind_code a.Packet.kind)
+              (Packet.kind_code b.Packet.kind)
+          in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.Packet.hop b.Packet.hop in
+            if c <> 0 then c
+            else
+              let c = Int.compare a.Packet.ackno b.Packet.ackno in
+              if c <> 0 then c
+              else
+                let at = a.Packet.times and bt = b.Packet.times in
+                if at.Packet.sent_at < bt.Packet.sent_at then -1
+                else if at.Packet.sent_at > bt.Packet.sent_at then 1
+                else if at.Packet.echo < bt.Packet.echo then -1
+                else if at.Packet.echo > bt.Packet.echo then 1
+                else if at.Packet.enqueued_at < bt.Packet.enqueued_at then -1
+                else if at.Packet.enqueued_at > bt.Packet.enqueued_at then 1
+                else 0
+
+(* [true] iff cell [o] dispatches strictly after cell [c]. *)
+let cell_after t o c =
+  let ot = get_time t o and ct = get_time t c in
+  if ot <> ct then ot > ct
+  else
+    let os = get_sched t o and cs = get_sched t c in
+    if os <> cs then os > cs
+    else
+      let ok = get_kind t o and ck = get_kind t c in
+      if ok <> ck then ok > ck
+      else if ok = 1 then
+        let pc =
+          pkt_cmp (Array.unsafe_get t.pkt_ o) (Array.unsafe_get t.pkt_ c)
+        in
+        if pc <> 0 then pc > 0 else get_seq t o > get_seq t c
+      else get_seq t o > get_seq t c
+
+(* --- due buffer: cells of the current slot, kept in dispatch order --- *)
 
 let due_grow t =
   (* lint: allow R9 -- amortized due-buffer growth: doubling, absent at steady state *)
@@ -237,32 +315,25 @@ let due_grow t =
 (* Shift larger entries one slot right, returning the insertion
    position; tail-recursive rather than a local [ref] so inserts stay
    allocation-free (R9). *)
-let rec due_shift t time seq pos =
-  if
-    pos > t.due_head
-    &&
-    (let o = Array.unsafe_get t.due (pos - 1) in
-     let ot = get_time t o in
-     ot > time || (ot = time && get_seq t o > seq))
+let rec due_shift t c pos =
+  if pos > t.due_head && cell_after t (Array.unsafe_get t.due (pos - 1)) c
   then begin
     Array.unsafe_set t.due pos (Array.unsafe_get t.due (pos - 1));
-    due_shift t time seq (pos - 1)
+    due_shift t c (pos - 1)
   end
   else pos
 
-(* Insert keeping [(time, seq)] order. Fresh arrivals carry the largest
-   seq, so they nearly always sort last: scan from the tail. Only
-   positions >= [due_head] move; the already-dispatched prefix stays
-   put, so a dispatch in progress is unaffected. *)
+(* Insert keeping dispatch order. Fresh arrivals carry the largest seq,
+   so they nearly always sort last: scan from the tail. Only positions
+   >= [due_head] move; the already-dispatched prefix stays put, so a
+   dispatch in progress is unaffected. *)
 let due_insert t c =
   if t.due_head = t.due_len then begin
     t.due_head <- 0;
     t.due_len <- 0
   end;
   if t.due_len = Array.length t.due then due_grow t;
-  let time = get_time t c in
-  let seq = get_seq t c in
-  let pos = due_shift t time seq t.due_len in
+  let pos = due_shift t c t.due_len in
   Array.unsafe_set t.due pos c;
   t.due_len <- t.due_len + 1;
   set_state t c st_due
@@ -314,22 +385,16 @@ let wheel_unlink t c =
 
 (* --- spill list: sorted, for events beyond the wheel span --- *)
 
-(* Walk to the first spill cell ordered at or after [(time, seq)];
+(* Walk to the first spill cell not dispatching strictly before [c];
    returns the predecessor (or [nil]) — tail-recursive rather than
    local [ref]s so inserts stay allocation-free (R9). *)
-let rec spill_pos t time seq prev cur =
-  if
-    cur <> nil
-    &&
-    (let ot = get_time t cur in
-     ot < time || (ot = time && get_seq t cur < seq))
-  then spill_pos t time seq cur (get_next t cur)
+let rec spill_pos t c prev cur =
+  if cur <> nil && cell_after t c cur then
+    spill_pos t c cur (get_next t cur)
   else prev
 
 let spill_insert t c =
-  let time = get_time t c in
-  let seq = get_seq t c in
-  let prev = spill_pos t time seq nil t.spill_head in
+  let prev = spill_pos t c nil t.spill_head in
   let cur = if prev = nil then t.spill_head else get_next t prev in
   set_next t c cur;
   set_prev t c prev;
@@ -483,18 +548,27 @@ let rec advance t =
 
 (* --- scheduling --- *)
 
+(* The scheduling time rides in stage slot 1: the inlined wrappers
+   store the current clock there, and [Shard.deliver]'s sched-override
+   entry point stores the message's original egress time instead.
+   Placement is a separate step ([commit_cell]) because the dispatch
+   comparator reads the cell's kind and packet, which the caller
+   attaches between the two. *)
 let[@inline] schedule_cell t time =
   let c = alloc_cell t in
   set_time t c time;
   set_period t c 0.;
+  set_sched t c (Float.Array.unsafe_get t.stage 1);
   set_kind t c 0;
   set_tick t c (tick_of_time time);
   set_seq t c t.next_seq;
   t.next_seq <- t.next_seq + 1;
+  c
+
+let[@inline] commit_cell t c =
   place t c;
   t.len <- t.len + 1;
-  if t.len > t.max_depth then t.max_depth <- t.len;
-  c
+  if t.len > t.max_depth then t.max_depth <- t.len
 
 (* [time -. time] is 0 exactly for finite floats, nan otherwise. *)
 let[@inline] check_time t time =
@@ -516,35 +590,55 @@ let schedule_staged ?(src = "other") t fn =
   in
   let c = schedule_cell t time in
   Array.unsafe_set t.fn_ c fn;
+  commit_cell t c;
   handle_of t c
 
 let[@inline] schedule_at ?src t time fn =
   Float.Array.unsafe_set t.stage 0 time;
+  Float.Array.unsafe_set t.stage 1 (Float.Array.unsafe_get t.clk 0);
   schedule_staged ?src t fn
 
 let[@inline] schedule_after ?src t delay fn =
   Float.Array.unsafe_set t.stage 0 (Float.Array.unsafe_get t.clk 0 +. delay);
+  Float.Array.unsafe_set t.stage 1 (Float.Array.unsafe_get t.clk 0);
   schedule_staged ?src t fn
 
 let schedule_pkt_staged ?(src = "other") t fn p =
   let time = Float.Array.unsafe_get t.stage 0 in
   check_time t time;
   let c = schedule_cell t time in
-  if Profile.enabled () then
-    Array.unsafe_set t.fn_ c (fun () -> Profile.dispatch ~src (fun () -> fn p))
-  else begin
-    set_kind t c 1;
-    Array.unsafe_set t.pfn_ c fn;
-    Array.unsafe_set t.pkt_ c p
-  end;
+  set_kind t c 1;
+  (* Even when profiling wraps the callback, the cell stays a packet
+     cell: the dispatch comparator must see the same content key whether
+     or not profiling is armed, or arming the profiler would change
+     same-instant tie resolution (and with it the simulation). *)
+  let fn =
+    if Profile.enabled () then fun q -> Profile.dispatch ~src (fun () -> fn q)
+    else fn
+  in
+  Array.unsafe_set t.pfn_ c fn;
+  Array.unsafe_set t.pkt_ c p;
+  commit_cell t c;
   handle_of t c
 
 let[@inline] schedule_pkt_at ?src t time fn p =
   Float.Array.unsafe_set t.stage 0 time;
+  Float.Array.unsafe_set t.stage 1 (Float.Array.unsafe_get t.clk 0);
   schedule_pkt_staged ?src t fn p
 
 let[@inline] schedule_pkt_after ?src t delay fn p =
   Float.Array.unsafe_set t.stage 0 (Float.Array.unsafe_get t.clk 0 +. delay);
+  Float.Array.unsafe_set t.stage 1 (Float.Array.unsafe_get t.clk 0);
+  schedule_pkt_staged ?src t fn p
+
+(* Cross-shard delivery: schedule at [time] but break same-instant ties
+   as if the timer had been armed at [sched] — the egress time on the
+   source shard, i.e. exactly when the sequential run's propagation
+   pipe would have scheduled this arrival. [sched] may lie in the past;
+   it is an ordering key, not a deadline. *)
+let[@inline] schedule_pkt_at_sched ?src t ~sched time fn p =
+  Float.Array.unsafe_set t.stage 0 time;
+  Float.Array.unsafe_set t.stage 1 sched;
   schedule_pkt_staged ?src t fn p
 
 let every ?(src = "other") ?start t period fn =
@@ -559,9 +653,11 @@ let every ?(src = "other") ?start t period fn =
   let fn =
     if Profile.enabled () then fun () -> Profile.dispatch ~src fn else fn
   in
+  Float.Array.unsafe_set t.stage 1 (Float.Array.unsafe_get t.clk 0);
   let c = schedule_cell t start in
   set_period t c period;
   t.fn_.(c) <- fn;
+  commit_cell t c;
   handle_of t c
 
 (* --- timer operations --- *)
@@ -595,6 +691,7 @@ let reschedule_staged t h =
     invalid_arg "Sim.Timer.reschedule: time in the past";
   unlink t c;
   set_time t c time;
+  set_sched t c (Float.Array.unsafe_get t.clk 0);
   set_tick t c (tick_of_time time);
   set_seq t c t.next_seq;
   t.next_seq <- t.next_seq + 1;
@@ -627,14 +724,19 @@ let[@olia.alloc_free] dispatch t =
   t.len <- t.len - 1;
   let period = get_period t c in
   if period > 0. then begin
+    if Trace.enabled () then
+      Trace.set_dispatch_ctx ~sched:(get_sched t c) ~cls:0 ~flow:0 ~subflow:0
+        ~pseq:0 ~kind:0;
     set_state t c st_running;
     (Array.unsafe_get t.fn_ c) ();
     if get_state t c = st_running then begin
       (* Re-arm in place: same cell, same handle, fresh seq — taken
          exactly where the old tail-recursive [schedule_after] idiom
-         took its seq, after the callback body. *)
+         took its seq, after the callback body. The clock equals [time]
+         here, so [sched = time] is the arming-time clock. *)
       let time' = time +. period in
       set_time t c time';
+      set_sched t c time;
       set_tick t c (tick_of_time time');
       set_seq t c t.next_seq;
       t.next_seq <- t.next_seq + 1;
@@ -647,6 +749,10 @@ let[@olia.alloc_free] dispatch t =
   else if get_kind t c = 1 then begin
     let pfn = Array.unsafe_get t.pfn_ c in
     let pkt = Array.unsafe_get t.pkt_ c in
+    if Trace.enabled () then
+      Trace.set_dispatch_ctx ~sched:(get_sched t c) ~cls:1
+        ~flow:pkt.Packet.flow ~subflow:pkt.Packet.subflow ~pseq:pkt.Packet.seq
+        ~kind:(Packet.kind_code pkt.Packet.kind);
     (* Free before running so the callback can reuse the cell at once;
        its handle is already stale (generation bumped). *)
     free_cell t c;
@@ -654,6 +760,9 @@ let[@olia.alloc_free] dispatch t =
   end
   else begin
     let fn = Array.unsafe_get t.fn_ c in
+    if Trace.enabled () then
+      Trace.set_dispatch_ctx ~sched:(get_sched t c) ~cls:0 ~flow:0 ~subflow:0
+        ~pseq:0 ~kind:0;
     free_cell t c;
     fn ()
   end

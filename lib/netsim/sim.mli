@@ -4,11 +4,15 @@
 
     Internally the scheduler is a hierarchical timing wheel over
     ns-resolution integer ticks (four levels of 256 slots; events beyond
-    the wheel horizon fall back to a sorted spill list), but dispatch
-    order is exactly the [(time, seq)] order of the old binary heap:
-    events in distinct wheel slots are ordered by slot, and each slot is
-    drained in [(time, seq)] order using the exact [float] times, so the
-    tick quantisation is never observable.
+    the wheel horizon fall back to a sorted spill list). Dispatch order
+    is [(time, sched, seq)] using the exact [float] times, where [sched]
+    is the clock value at the moment the timer was armed: within one
+    simulator [sched] is non-decreasing in [seq], so this orders exactly
+    like the old binary heap's [(time, seq)] — the middle key exists for
+    cross-shard deliveries ({!schedule_pkt_at_sched}), which carry the
+    arming time a sequential run would have used so that a sharded run
+    breaks same-instant ties identically. The tick quantisation is never
+    observable.
 
     Timer cells are pooled in free lists and handles are unboxed
     integers, so the steady-state schedule/cancel/reschedule cycle of a
@@ -85,6 +89,23 @@ val schedule_pkt_at :
 val schedule_pkt_after :
   ?src:string -> t -> float -> (Packet.t -> unit) -> Packet.t -> Timer.t
 (** Delay form of {!schedule_pkt_at}. *)
+
+val schedule_pkt_at_sched :
+  ?src:string ->
+  t ->
+  sched:float ->
+  float ->
+  (Packet.t -> unit) ->
+  Packet.t ->
+  Timer.t
+(** [schedule_pkt_at_sched t ~sched time fn p] is {!schedule_pkt_at}
+    with an explicit tie-break key: same-instant events dispatch as if
+    this timer had been armed when the clock read [sched] rather than
+    now. [Shard.deliver] passes the message's egress time on the source
+    shard — the instant the sequential run's propagation pipe would
+    have scheduled the arrival — so sharded and sequential runs order
+    same-instant ties identically. [sched] may lie in the past; it is
+    an ordering key, not a deadline. *)
 
 val every : ?src:string -> ?start:float -> t -> float -> (unit -> unit) -> Timer.t
 (** [every t period fn] runs [fn] at [start] (default [now t +. period])

@@ -96,26 +96,12 @@ let trace_state sub =
 let emit_transition sub ~from_state =
   let to_state = trace_state sub in
   if to_state <> from_state then
-    Trace.emit
-      (Trace.Tcp_state
-         {
-           time = Sim.now sub.conn.sim;
-           flow = sub.conn.flow_id;
-           subflow = sub.idx;
-           from_state;
-           to_state;
-         })
+    Trace.tcp_state ~time:(Sim.now sub.conn.sim) ~flow:sub.conn.flow_id
+      ~subflow:sub.idx ~from_state ~to_state
 
 let emit_cwnd sub =
-  Trace.emit
-    (Trace.Cwnd_update
-       {
-         time = Sim.now sub.conn.sim;
-         flow = sub.conn.flow_id;
-         subflow = sub.idx;
-         cwnd = sub.cwnd;
-         ssthresh = sub.ssthresh;
-       })
+  Trace.cwnd_update ~time:(Sim.now sub.conn.sim) ~flow:sub.conn.flow_id
+    ~subflow:sub.idx ~cwnd:sub.cwnd ~ssthresh:sub.ssthresh
 
 let views conn =
   let vs = conn.views in
@@ -179,14 +165,8 @@ let on_timeout sub =
   let traced = Trace.enabled () in
   let from_state = if traced then trace_state sub else Trace.Slow_start in
   if traced then
-    Trace.emit
-      (Trace.Rto_fired
-         {
-           time = Sim.now sub.conn.sim;
-           flow = sub.conn.flow_id;
-           subflow = sub.idx;
-           rto = sub.rto;
-         });
+    Trace.rto_fired ~time:(Sim.now sub.conn.sim) ~flow:sub.conn.flow_id
+      ~subflow:sub.idx ~rto:sub.rto;
   sub.timeouts <- sub.timeouts + 1;
   invalidate_increase sub;
   sub.conn.cc.Repro_cc.Cc_types.on_loss ~idx:sub.idx;
@@ -271,15 +251,8 @@ let sample_rtt sub echo =
       Stdlib.min 60.
         (Stdlib.max (sub.srtt +. (4. *. rttvar)) sub.conn.min_rto);
     if Trace.enabled () then
-      Trace.emit
-        (Trace.Rtt_sample
-           {
-             time = Sim.now sub.conn.sim;
-             flow = sub.conn.flow_id;
-             subflow = sub.idx;
-             rtt;
-             srtt = sub.srtt;
-           })
+      Trace.rtt_sample ~time:(Sim.now sub.conn.sim) ~flow:sub.conn.flow_id
+        ~subflow:sub.idx ~rtt ~srtt:sub.srtt
   end
 
 let check_completion conn =
@@ -612,9 +585,8 @@ let create ~sim ?rcv_sim ~cc ~paths ?size_pkts ?(start = 0.)
       ignore
         (Sim.schedule_at ~src:"tcp.start" sim at (fun () ->
              if Trace.enabled () then
-               Trace.emit
-                 (Trace.Subflow_add
-                    { time = Sim.now sim; flow = conn.flow_id; subflow = idx });
+               Trace.subflow_add ~time:(Sim.now sim) ~flow:conn.flow_id
+                 ~subflow:idx;
              try_send sub)
           : Sim.Timer.t))
     conn.subs;
@@ -637,13 +609,12 @@ let subflow_timeouts conn idx = conn.subs.(idx).timeouts
 let set_subflow_enabled conn idx enabled =
   let sub = conn.subs.(idx) in
   if Trace.enabled () && sub.enabled <> enabled then
-    Trace.emit
-      (if enabled then
-         Trace.Subflow_add
-           { time = Sim.now conn.sim; flow = conn.flow_id; subflow = idx }
-       else
-         Trace.Subflow_remove
-           { time = Sim.now conn.sim; flow = conn.flow_id; subflow = idx });
+    if enabled then
+      Trace.subflow_add ~time:(Sim.now conn.sim) ~flow:conn.flow_id
+        ~subflow:idx
+    else
+      Trace.subflow_remove ~time:(Sim.now conn.sim) ~flow:conn.flow_id
+        ~subflow:idx;
   (* the subflow set feeds every subflow's coupled increase *)
   Array.iter invalidate_increase conn.subs;
   sub.enabled <- enabled;

@@ -39,11 +39,42 @@ let finish t ~sim_s ~events_processed ~max_heap_depth ~drops_overflow
     subflow_goodput_bps;
   }
 
+(* Per-shard counters for sharded runs: each worker's simulator keeps
+   its own totals, and the merge is deterministic — shards ascend, int
+   sums and maxes are order-free — so the merged values feed the same
+   obs_* metrics a 1-shard run reports. *)
+type shard_counters = {
+  shard : int;
+  events_processed : int;
+  max_heap_depth : int;
+}
+
+let merge_shards shards =
+  let shards =
+    List.sort (fun a b -> Int.compare a.shard b.shard) shards
+  in
+  List.fold_left
+    (fun (ev, depth) s ->
+      (ev + s.events_processed, Stdlib.max depth s.max_heap_depth))
+    (0, 0) shards
+
+let shards_to_json shards =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("shard", Json.Int s.shard);
+             ("events_processed", Json.Int s.events_processed);
+             ("max_heap_depth", Json.Int s.max_heap_depth);
+           ])
+       (List.sort (fun a b -> Int.compare a.shard b.shard) shards))
+
 (* Deterministic counters only: these are a function of the seed, so
    exporting them keeps Exp.Sweep's parallel-equals-sequential and
    byte-identical-JSON guarantees intact. Wall timers stay in the
    report (and in to_json) for the CLI and the bench harness. *)
-let metrics r =
+let metrics (r : report) =
   [
     ("obs_events", float_of_int r.events_processed);
     ("obs_max_heap_depth", float_of_int r.max_heap_depth);
@@ -55,7 +86,7 @@ let metrics r =
       (fun (label, bps) -> ("obs_subflow_goodput_bps_" ^ label, bps))
       r.subflow_goodput_bps
 
-let to_json r =
+let to_json (r : report) =
   Json.Obj
     [
       ("wall_s", Json.Float r.wall_s);

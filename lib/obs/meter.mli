@@ -36,6 +36,22 @@ val finish :
   subflow_goodput_bps:(string * float) list ->
   report
 
+type shard_counters = {
+  shard : int;
+  events_processed : int;
+  max_heap_depth : int;
+}
+(** One shard's deterministic loop counters in a sharded run. *)
+
+val merge_shards : shard_counters list -> int * int
+(** [(total events, max heap depth)] merged in ascending shard order —
+    a deterministic reduction, so the merged values feed the same
+    [obs_*] metrics a 1-shard run reports. *)
+
+val shards_to_json : shard_counters list -> Repro_stats.Json.t
+(** Per-shard breakdown (ascending shards) for operator-facing
+    output. *)
+
 val metrics : report -> (string * float) list
 (** The deterministic counters as [("obs_*", v)] pairs, suitable for
     [Exp.Outcome]; each [subflow_goodput_bps] entry becomes

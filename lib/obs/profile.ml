@@ -6,55 +6,132 @@
    profiling-off path costs one ref read per schedule and nothing per
    dispatch. Attribution is by the [~src] label the scheduling site
    passes (e.g. "queue.serve", "tcp.rto"); unlabelled sites pool under
-   "other". *)
+   "other".
 
-(* lint: allow R2 R10 -- process-global profiler switch, armed once by the CLI or test setup before the (single-domain) profiled run starts; Exp.Sweep refuses to spawn domains while armed *)
+   Accumulators are per-domain: each domain gets its own table from
+   domain-local storage, so dispatch never takes a lock. Workers in a
+   sharded run [bind ~shard] their domain so the per-shard breakdown
+   can name shards; unbound domains pool under shard [-1]. The global
+   registry (for the offline rollup) is only touched when a domain
+   first creates its table. *)
+
+(* lint: allow R2 R10 -- process-global profiler switch, armed once by the CLI or test setup before the profiled run starts *)
 let armed = ref false
 
 type cell = { mutable count : int; mutable wall_s : float }
 
-(* lint: allow R2 R10 -- paired with [armed]: the per-source accumulator table behind the profiler, guarded by [lock]; only touched when armed, never during a sweep *)
-let table : (string, cell) Hashtbl.t = Hashtbl.create 16
+type dom_table = {
+  mutable shard : int;
+  reg : int; (* registration order, the deterministic fold order *)
+  tbl : (string, cell) Hashtbl.t;
+}
 
 let lock = Mutex.create ()
+
+(* lint: allow R2 R10 -- registry of per-domain tables in registration order, appended under [lock] at table creation, read offline by report *)
+let registry : dom_table list ref = ref []
+
+(* lint: allow R2 R10 -- registration counter for [registry], bumped under [lock] *)
+let reg_count = ref 0
+
+let fresh_table shard =
+  let t =
+    Mutex.protect lock (fun () ->
+        let t = { shard; reg = !reg_count; tbl = Hashtbl.create 16 } in
+        incr reg_count;
+        registry := t :: !registry;
+        t)
+  in
+  t
+
+let key : dom_table option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_table () =
+  let slot = Domain.DLS.get key in
+  match !slot with
+  | Some t -> t
+  | None ->
+    let t = fresh_table (-1) in
+    slot := Some t;
+    t
+
+let bind ~shard =
+  let slot = Domain.DLS.get key in
+  match !slot with
+  | Some t -> t.shard <- shard
+  | None -> slot := Some (fresh_table shard)
+
 let enabled () = !armed
 let set_enabled b = armed := b
-let reset () = Mutex.protect lock (fun () -> Hashtbl.reset table)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      List.iter (fun t -> Hashtbl.reset t.tbl) !registry)
 
 let dispatch ~src fn =
   let t0 = Unix.gettimeofday () in
   fn ();
   let dt = Unix.gettimeofday () -. t0 in
-  Mutex.protect lock (fun () ->
-      let cell =
-        match Hashtbl.find_opt table src with
-        | Some c -> c
-        | None ->
-          let c = { count = 0; wall_s = 0. } in
-          Hashtbl.add table src c;
-          c
-      in
-      cell.count <- cell.count + 1;
-      cell.wall_s <- cell.wall_s +. dt)
+  let tbl = (my_table ()).tbl in
+  let cell =
+    match Hashtbl.find_opt tbl src with
+    | Some c -> c
+    | None ->
+      let c = { count = 0; wall_s = 0. } in
+      Hashtbl.add tbl src c;
+      c
+  in
+  cell.count <- cell.count + 1;
+  cell.wall_s <- cell.wall_s +. dt
 
 type entry = { src : string; count : int; wall_s : float }
 
 (* Hottest first; ties (e.g. all-zero wall on a coarse clock) break
    alphabetically so the rendering is stable. *)
-let report () =
-  let entries =
-    Mutex.protect lock (fun () ->
-        Hashtbl.fold
-          (fun src (c : cell) acc ->
-            { src; count = c.count; wall_s = c.wall_s } :: acc)
-          table [])
-  in
+let sort_entries entries =
   List.sort
     (fun a b ->
       match compare b.wall_s a.wall_s with
       | 0 -> String.compare a.src b.src
       | c -> c)
     entries
+
+(* Snapshot the registry in registration order so the float summation
+   order below is deterministic for a given run shape. *)
+let tables () =
+  Mutex.protect lock (fun () ->
+      List.sort (fun a b -> Int.compare a.reg b.reg) !registry)
+
+let fold_tables ts =
+  let acc : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun src (c : cell) ->
+          match Hashtbl.find_opt acc src with
+          | Some a ->
+            a.count <- a.count + c.count;
+            a.wall_s <- a.wall_s +. c.wall_s
+          | None -> Hashtbl.add acc src { count = c.count; wall_s = c.wall_s })
+        t.tbl)
+    ts;
+  Hashtbl.fold
+    (fun src (c : cell) acc -> { src; count = c.count; wall_s = c.wall_s } :: acc)
+    acc []
+
+let report () = sort_entries (fold_tables (tables ()))
+
+(* Per-shard breakdown: tables sharing a shard id merge (a domain that
+   ran several windows, or rebound); shards ascend, unbound domains
+   ([-1]) first. *)
+let report_by_shard () =
+  let ts = tables () in
+  let shards = List.sort_uniq Int.compare (List.map (fun t -> t.shard) ts) in
+  List.map
+    (fun s ->
+      (s, sort_entries (fold_tables (List.filter (fun t -> t.shard = s) ts))))
+    shards
 
 let to_table entries =
   let total_wall = List.fold_left (fun acc e -> acc +. e.wall_s) 0. entries in
@@ -74,6 +151,27 @@ let to_table entries =
            else "-");
         ])
     entries;
+  table
+
+let to_shard_table by_shard =
+  let table =
+    Repro_stats.Table.create ~title:"event-loop profile (per shard)"
+      ~columns:[ "shard"; "source"; "dispatches"; "wall_ms" ]
+  in
+  List.iter
+    (fun (shard, entries) ->
+      let shard_name = if shard < 0 then "-" else string_of_int shard in
+      List.iter
+        (fun e ->
+          Repro_stats.Table.add_row table
+            [
+              shard_name;
+              e.src;
+              string_of_int e.count;
+              Printf.sprintf "%.3f" (e.wall_s *. 1e3);
+            ])
+        entries)
+    by_shard;
   table
 
 (* OLIA_PROFILE=1 (or true/yes/on) arms the profiler at startup and

@@ -280,24 +280,130 @@ let of_json json =
     | other -> Error (Printf.sprintf "unknown event %S" other))
   | _ -> Error "trace event is not a JSON object"
 
-(* --- sink ----------------------------------------------------------- *)
+(* --- integer encodings ---------------------------------------------- *)
 
-(* The sink is process-global by design: a trace interleaves events
-   from every queue and connection of a run, and the CLI arms it around
-   a single scenario execution. Parallel sweeps run untraced (the CLI
-   never arms tracing there), and [emit] serializes writers with a
-   mutex in case a traced program still spawns domains. *)
+(* Fixed codes for the binary ring records. The string forms above stay
+   the JSONL wire format; these never appear outside the rings. *)
 
-(* lint: allow R2 R10 -- process-global trace sink, armed once by the CLI or test setup before the (single-domain) traced run starts; Exp.Sweep refuses to run while armed *)
+let state_code = function
+  | Slow_start -> 0
+  | Congestion_avoidance -> 1
+  | Fast_recovery -> 2
+
+let state_of_code = function
+  | 0 -> Slow_start
+  | 1 -> Congestion_avoidance
+  | 2 -> Fast_recovery
+  | c -> invalid_arg (Printf.sprintf "Trace: unknown tcp state code %d" c)
+
+let cause_code = function
+  | Overflow -> 0
+  | Red_early -> 1
+  | Random_loss -> 2
+  | Link_down -> 3
+
+let cause_of_code = function
+  | 0 -> Overflow
+  | 1 -> Red_early
+  | 2 -> Random_loss
+  | 3 -> Link_down
+  | c -> invalid_arg (Printf.sprintf "Trace: unknown drop cause code %d" c)
+
+(* Packet kind codes follow [Packet.kind_code]: data 0, ack 1. *)
+let kind_name_of_code = function
+  | 0 -> "data"
+  | 1 -> "ack"
+  | c -> invalid_arg (Printf.sprintf "Trace: unknown packet kind code %d" c)
+
+(* --- interning ------------------------------------------------------- *)
+
+(* Source labels (queue names) intern to small ints at component
+   creation time, so the armed emission path stores an int instead of
+   touching a string. The table is process-global and mutex-protected:
+   interning happens at topology construction (cold), lookups at decode
+   time (offline). *)
+
+let intern_lock = Mutex.create ()
+
+(* lint: allow R2 R10 -- process-global intern table: written only at component creation under [intern_lock], read back offline by the decoder *)
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+
+(* lint: allow R2 R10 -- reverse side of [intern_tbl], same discipline *)
+let intern_names : string array ref = ref (Array.make 64 "")
+
+(* lint: allow R2 R10 -- count of interned names, guarded by [intern_lock] *)
+let intern_count = ref 0
+
+let intern s =
+  Mutex.protect intern_lock (fun () ->
+      match Hashtbl.find_opt intern_tbl s with
+      | Some id -> id
+      | None ->
+        let id = !intern_count in
+        let names = !intern_names in
+        let cap = Array.length names in
+        if id = cap then begin
+          let names' = Array.make (2 * cap) "" in
+          Array.blit names 0 names' 0 cap;
+          intern_names := names'
+        end;
+        !intern_names.(id) <- s;
+        Hashtbl.add intern_tbl s id;
+        incr intern_count;
+        id)
+
+let intern_name id =
+  Mutex.protect intern_lock (fun () ->
+      if id < 0 || id >= !intern_count then
+        invalid_arg (Printf.sprintf "Trace.intern_name: unknown id %d" id);
+      !intern_names.(id))
+
+(* --- sinks and rings -------------------------------------------------- *)
+
+(* Two armed modes share one [enabled] guard:
+
+   - sink mode (the original design): a process-global [event -> unit]
+     callback, mutex-serialized, fed by single-domain runs;
+   - ring mode: each participating domain binds its own pre-allocated
+     {!Ring}, emission is a lock-free single-writer binary append, and
+     {!decode_rings} merges the rings offline back into the JSONL event
+     order.
+
+   A domain with a bound ring always writes the ring; the sink is the
+   fallback for armed-but-unbound domains (i.e. the classic
+   single-domain workflow). *)
+
+(* lint: allow R2 R10 -- process-global trace sink, armed once by the CLI or test setup before the (single-domain) traced run starts *)
 let sink : (event -> unit) option ref = ref None
 
 (* lint: allow R2 -- paired with [sink]: the channel behind the JSONL writer, managed only by open_jsonl/close *)
 let chan : out_channel option ref = ref None
 
-let lock = Mutex.create ()
-let enabled () = Option.is_some !sink
+(* lint: allow R2 R10 -- ring-mode arming flag, flipped only between runs (arm_rings/disarm_rings) *)
+let rings_on = ref false
 
-let emit ev =
+(* lint: allow R2 R10 -- ring capacity for subsequent bind_ring calls, set by arm_rings before workers start *)
+let ring_capacity = ref (1 lsl 16)
+
+(* lint: allow R2 R10 -- overflow policy for subsequent bind_ring calls, set by arm_rings before workers start *)
+let ring_policy = ref Ring.Drop_oldest
+
+(* lint: allow R2 R10 -- bound rings in registration order, appended under [lock] by bind_ring, read offline by decode_rings *)
+let registry : (int * Ring.t) list ref = ref []
+
+(* lint: allow R2 R10 -- registration counter for [registry], bumped under [lock] *)
+let reg_count = ref 0
+
+(* lint: allow R2 R10 -- the one-ref-read guard behind every instrumentation site; recomputed from sink/rings state under [lock] *)
+let armed = ref false
+
+let lock = Mutex.create ()
+let[@inline] enabled () = !armed
+let[@inline] sink_armed () = Option.is_some !sink
+let rings_armed () = !rings_on
+let recompute_armed () = armed := !rings_on || Option.is_some !sink
+
+let emit_sink ev =
   match !sink with
   | None -> ()
   | Some f -> Mutex.protect lock (fun () -> f ev)
@@ -310,9 +416,12 @@ let close () =
         if oc != stderr then close_out oc
       | None -> ());
       chan := None;
-      sink := None)
+      sink := None;
+      recompute_armed ())
 
-let set_sink f = sink := f
+let set_sink f =
+  sink := f;
+  recompute_armed ()
 
 let jsonl_writer oc ev =
   output_string oc (Json.to_string (to_json ev));
@@ -322,11 +431,468 @@ let open_jsonl ~path =
   close ();
   let oc = open_out path in
   chan := Some oc;
-  sink := Some (jsonl_writer oc)
+  sink := Some (jsonl_writer oc);
+  recompute_armed ()
 
 let with_jsonl ~path f =
   open_jsonl ~path;
   Fun.protect ~finally:close f
+
+(* --- per-domain ring binding and dispatch context --------------------- *)
+
+let ring_key = Domain.DLS.new_key (fun () -> Ring.null)
+
+(* The dispatch context: the scheduler stores the currently-dispatching
+   event's ordering key here ({!set_dispatch_ctx}, called once per
+   dispatch while tracing is armed), and every record written during
+   that dispatch carries it. The decoder sorts on it, which is what
+   lets N per-shard rings merge back into exactly the sequential
+   dispatch order: records of one dispatch share the key, and distinct
+   same-instant dispatches are ordered by [(sched, class, packet
+   identity)] — the scheduler's own shard-invariant tie-break. *)
+type dctx = { cf : floatarray; ci : int array }
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      { cf = Float.Array.make 1 0.; ci = Array.make 5 0 })
+
+let[@inline] set_dispatch_ctx ~sched ~cls ~flow ~subflow ~pseq ~kind =
+  let c = Domain.DLS.get ctx_key in
+  Float.Array.unsafe_set c.cf 0 sched;
+  Array.unsafe_set c.ci 0 cls;
+  Array.unsafe_set c.ci 1 flow;
+  Array.unsafe_set c.ci 2 subflow;
+  Array.unsafe_set c.ci 3 pseq;
+  Array.unsafe_set c.ci 4 kind
+
+let arm_rings ?capacity ?policy () =
+  Mutex.protect lock (fun () ->
+      (match capacity with
+      | Some c ->
+        if c < 1 then invalid_arg "Trace.arm_rings: capacity must be positive";
+        ring_capacity := c
+      | None -> ());
+      (match policy with Some p -> ring_policy := p | None -> ());
+      registry := [];
+      reg_count := 0;
+      rings_on := true;
+      recompute_armed ())
+
+let bind_ring ~shard =
+  if not !rings_on then
+    invalid_arg "Trace.bind_ring: rings are not armed (call arm_rings first)";
+  let r = Ring.create ~shard ~capacity:!ring_capacity ~policy:!ring_policy in
+  Mutex.protect lock (fun () ->
+      registry := (!reg_count, r) :: !registry;
+      incr reg_count);
+  Domain.DLS.set ring_key r
+
+let unbind_ring () = Domain.DLS.set ring_key Ring.null
+
+let disarm_rings () =
+  Mutex.protect lock (fun () ->
+      rings_on := false;
+      registry := [];
+      reg_count := 0;
+      recompute_armed ());
+  unbind_ring ()
+
+let rings_dropped () =
+  Mutex.protect lock (fun () ->
+      List.fold_left (fun acc (_, r) -> acc + Ring.dropped r) 0 !registry)
+
+(* --- armed emission --------------------------------------------------- *)
+
+(* Record layout (owned here, storage in {!Ring}). Int words:
+   0 tag, 1 dispatch class, 2-5 dispatching packet identity
+   (flow, subflow, seq, kind), 6.. payload. Float words: 0 event time,
+   1 dispatch sched key, 2-3 payload. *)
+
+let tag_pkt_enqueue = 0
+let tag_pkt_drop = 1
+let tag_pkt_forward = 2
+let tag_tcp_state = 3
+let tag_cwnd_update = 4
+let tag_rto_fired = 5
+let tag_rtt_sample = 6
+let tag_subflow_add = 7
+let tag_subflow_remove = 8
+
+(* Claim a slot and fill the shared header words. *)
+let[@inline] write_header r tag time =
+  let c = Domain.DLS.get ctx_key in
+  let s = Ring.claim r in
+  Ring.set_f r s 0 time;
+  Ring.set_f r s 1 (Float.Array.unsafe_get c.cf 0);
+  Ring.set_i r s 0 tag;
+  Ring.set_i r s 1 (Array.unsafe_get c.ci 0);
+  Ring.set_i r s 2 (Array.unsafe_get c.ci 1);
+  Ring.set_i r s 3 (Array.unsafe_get c.ci 2);
+  Ring.set_i r s 4 (Array.unsafe_get c.ci 3);
+  Ring.set_i r s 5 (Array.unsafe_get c.ci 4);
+  s
+
+(* The scalar emission functions: the armed hot path. With a bound ring
+   each is a claim plus unboxed word stores — zero minor allocation,
+   proven by the R9 roots below. [@inline] matters as much as the body:
+   without it every float argument boxes at the call boundary (this
+   repo builds without flambda), exactly like [Sim.schedule_after]. The
+   sink branch (armed but unbound: the classic single-domain workflow)
+   builds the event record and is pruned from the proof by the
+   [sink_armed] guard. *)
+
+let[@inline] [@olia.alloc_free] pkt_enqueue ~time ~queue ~flow ~subflow ~seq ~kind
+    ~backlog =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_pkt_enqueue time in
+    Ring.set_i r s 6 queue;
+    Ring.set_i r s 7 flow;
+    Ring.set_i r s 8 subflow;
+    Ring.set_i r s 9 seq;
+    Ring.set_i r s 10 kind;
+    Ring.set_i r s 11 backlog
+  end
+  else if sink_armed () then
+    emit_sink
+      (Pkt_enqueue
+         {
+           time;
+           queue = intern_name queue;
+           flow;
+           subflow;
+           seq;
+           kind = kind_name_of_code kind;
+           backlog;
+         })
+
+let[@inline] [@olia.alloc_free] pkt_drop ~time ~queue ~flow ~subflow ~seq ~kind ~cause =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_pkt_drop time in
+    Ring.set_i r s 6 queue;
+    Ring.set_i r s 7 flow;
+    Ring.set_i r s 8 subflow;
+    Ring.set_i r s 9 seq;
+    Ring.set_i r s 10 kind;
+    Ring.set_i r s 11 (cause_code cause)
+  end
+  else if sink_armed () then
+    emit_sink
+      (Pkt_drop
+         {
+           time;
+           queue = intern_name queue;
+           flow;
+           subflow;
+           seq;
+           kind = kind_name_of_code kind;
+           cause;
+         })
+
+let[@inline] [@olia.alloc_free] pkt_forward ~time ~queue ~flow ~subflow ~seq ~kind
+    ~bytes ~qdelay =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_pkt_forward time in
+    Ring.set_f r s 2 qdelay;
+    Ring.set_i r s 6 queue;
+    Ring.set_i r s 7 flow;
+    Ring.set_i r s 8 subflow;
+    Ring.set_i r s 9 seq;
+    Ring.set_i r s 10 kind;
+    Ring.set_i r s 11 bytes
+  end
+  else if sink_armed () then
+    emit_sink
+      (Pkt_forward
+         {
+           time;
+           queue = intern_name queue;
+           flow;
+           subflow;
+           seq;
+           kind = kind_name_of_code kind;
+           bytes;
+           qdelay;
+         })
+
+let[@inline] [@olia.alloc_free] tcp_state ~time ~flow ~subflow ~from_state ~to_state =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_tcp_state time in
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow;
+    Ring.set_i r s 8 (state_code from_state);
+    Ring.set_i r s 9 (state_code to_state)
+  end
+  else if sink_armed () then
+    emit_sink (Tcp_state { time; flow; subflow; from_state; to_state })
+
+let[@inline] [@olia.alloc_free] cwnd_update ~time ~flow ~subflow ~cwnd ~ssthresh =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_cwnd_update time in
+    Ring.set_f r s 2 cwnd;
+    Ring.set_f r s 3 ssthresh;
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow
+  end
+  else if sink_armed () then
+    emit_sink (Cwnd_update { time; flow; subflow; cwnd; ssthresh })
+
+let[@inline] [@olia.alloc_free] rto_fired ~time ~flow ~subflow ~rto =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_rto_fired time in
+    Ring.set_f r s 2 rto;
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow
+  end
+  else if sink_armed () then emit_sink (Rto_fired { time; flow; subflow; rto })
+
+let[@inline] [@olia.alloc_free] rtt_sample ~time ~flow ~subflow ~rtt ~srtt =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_rtt_sample time in
+    Ring.set_f r s 2 rtt;
+    Ring.set_f r s 3 srtt;
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow
+  end
+  else if sink_armed () then
+    emit_sink (Rtt_sample { time; flow; subflow; rtt; srtt })
+
+let[@inline] [@olia.alloc_free] subflow_add ~time ~flow ~subflow =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_subflow_add time in
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow
+  end
+  else if sink_armed () then emit_sink (Subflow_add { time; flow; subflow })
+
+let[@inline] [@olia.alloc_free] subflow_remove ~time ~flow ~subflow =
+  let r = Domain.DLS.get ring_key in
+  if r != Ring.null then begin
+    let s = write_header r tag_subflow_remove time in
+    Ring.set_i r s 6 flow;
+    Ring.set_i r s 7 subflow
+  end
+  else if sink_armed () then emit_sink (Subflow_remove { time; flow; subflow })
+
+(* Variant-level compatibility entry point: tests and external callers
+   that hold an {!event} go through the same paths as the scalar
+   functions (ring if bound, sink otherwise). Queue names re-intern, so
+   a ring round-trip preserves them. *)
+let emit ev =
+  let r = Domain.DLS.get ring_key in
+  if r == Ring.null then emit_sink ev
+  else
+    match ev with
+    | Pkt_enqueue { time; queue; flow; subflow; seq; kind; backlog } ->
+      pkt_enqueue ~time ~queue:(intern queue) ~flow ~subflow ~seq
+        ~kind:(if kind = "ack" then 1 else 0)
+        ~backlog
+    | Pkt_drop { time; queue; flow; subflow; seq; kind; cause } ->
+      pkt_drop ~time ~queue:(intern queue) ~flow ~subflow ~seq
+        ~kind:(if kind = "ack" then 1 else 0)
+        ~cause
+    | Pkt_forward { time; queue; flow; subflow; seq; kind; bytes; qdelay } ->
+      pkt_forward ~time ~queue:(intern queue) ~flow ~subflow ~seq
+        ~kind:(if kind = "ack" then 1 else 0)
+        ~bytes ~qdelay
+    | Tcp_state { time; flow; subflow; from_state; to_state } ->
+      tcp_state ~time ~flow ~subflow ~from_state ~to_state
+    | Cwnd_update { time; flow; subflow; cwnd; ssthresh } ->
+      cwnd_update ~time ~flow ~subflow ~cwnd ~ssthresh
+    | Rto_fired { time; flow; subflow; rto } -> rto_fired ~time ~flow ~subflow ~rto
+    | Rtt_sample { time; flow; subflow; rtt; srtt } ->
+      rtt_sample ~time ~flow ~subflow ~rtt ~srtt
+    | Subflow_add { time; flow; subflow } -> subflow_add ~time ~flow ~subflow
+    | Subflow_remove { time; flow; subflow } ->
+      subflow_remove ~time ~flow ~subflow
+
+(* --- offline decoding ------------------------------------------------- *)
+
+let event_of_record r s =
+  let time = Ring.get_f r s 0 in
+  let tag = Ring.get_i r s 0 in
+  if tag = tag_pkt_enqueue then
+    Pkt_enqueue
+      {
+        time;
+        queue = intern_name (Ring.get_i r s 6);
+        flow = Ring.get_i r s 7;
+        subflow = Ring.get_i r s 8;
+        seq = Ring.get_i r s 9;
+        kind = kind_name_of_code (Ring.get_i r s 10);
+        backlog = Ring.get_i r s 11;
+      }
+  else if tag = tag_pkt_drop then
+    Pkt_drop
+      {
+        time;
+        queue = intern_name (Ring.get_i r s 6);
+        flow = Ring.get_i r s 7;
+        subflow = Ring.get_i r s 8;
+        seq = Ring.get_i r s 9;
+        kind = kind_name_of_code (Ring.get_i r s 10);
+        cause = cause_of_code (Ring.get_i r s 11);
+      }
+  else if tag = tag_pkt_forward then
+    Pkt_forward
+      {
+        time;
+        queue = intern_name (Ring.get_i r s 6);
+        flow = Ring.get_i r s 7;
+        subflow = Ring.get_i r s 8;
+        seq = Ring.get_i r s 9;
+        kind = kind_name_of_code (Ring.get_i r s 10);
+        bytes = Ring.get_i r s 11;
+        qdelay = Ring.get_f r s 2;
+      }
+  else if tag = tag_tcp_state then
+    Tcp_state
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+        from_state = state_of_code (Ring.get_i r s 8);
+        to_state = state_of_code (Ring.get_i r s 9);
+      }
+  else if tag = tag_cwnd_update then
+    Cwnd_update
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+        cwnd = Ring.get_f r s 2;
+        ssthresh = Ring.get_f r s 3;
+      }
+  else if tag = tag_rto_fired then
+    Rto_fired
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+        rto = Ring.get_f r s 2;
+      }
+  else if tag = tag_rtt_sample then
+    Rtt_sample
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+        rtt = Ring.get_f r s 2;
+        srtt = Ring.get_f r s 3;
+      }
+  else if tag = tag_subflow_add then
+    Subflow_add
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+      }
+  else if tag = tag_subflow_remove then
+    Subflow_remove
+      {
+        time;
+        flow = Ring.get_i r s 6;
+        subflow = Ring.get_i r s 7;
+      }
+  else invalid_arg (Printf.sprintf "Trace: unknown record tag %d" tag)
+
+(* One decoded record with its merge key. [rank] orders rings (by
+   shard, then registration order) and [pos] preserves each ring's own
+   emission order for otherwise-equal keys. *)
+type view = {
+  v_time : float;
+  v_sched : float;
+  v_cls : int;
+  v_dflow : int;
+  v_dsub : int;
+  v_dpseq : int;
+  v_dkind : int;
+  v_rank : int;
+  v_pos : int;
+  v_ev : event;
+}
+
+let compare_view a b =
+  let c = Float.compare a.v_time b.v_time in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.v_sched b.v_sched in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.v_cls b.v_cls in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.v_dflow b.v_dflow in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.v_dsub b.v_dsub in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.v_dpseq b.v_dpseq in
+            if c <> 0 then c
+            else
+              let c = Int.compare a.v_dkind b.v_dkind in
+              if c <> 0 then c
+              else
+                (* The dispatch key can tie across distinct dispatches:
+                   closure dispatches carry no packet identity (two
+                   queue-serve completions armed and firing at the same
+                   instants are common on the service-time lattice), and
+                   they can run on different shards. The record's own
+                   content is shard-invariant, so it canonicalizes the
+                   order — the same regrouping on a 1-ring decode and an
+                   N-ring decode. Structural compare of the decoded
+                   event is total and deterministic (ints, floats,
+                   interned-back strings). *)
+                let c = Stdlib.compare a.v_ev b.v_ev in
+                if c <> 0 then c
+                else
+                  let c = Int.compare a.v_rank b.v_rank in
+                  if c <> 0 then c else Int.compare a.v_pos b.v_pos
+
+(* Merge every bound ring's records into the canonical event order:
+   sort by [(time, sched, class, dispatching-packet identity)] — the
+   scheduler's own dispatch order — then by record content, with ring
+   rank and in-ring position closing the order. Every component before
+   rank/pos is shard-invariant, so a 1-ring decode and an N-ring decode
+   of the same run order identically: that is the byte-identity the
+   shard-invariance gate checks. *)
+let decode_rings () =
+  let rings =
+    Mutex.protect lock (fun () ->
+        List.sort
+          (fun (ra, a) (rb, b) ->
+            let c = Int.compare (Ring.shard a) (Ring.shard b) in
+            if c <> 0 then c else Int.compare ra rb)
+          !registry)
+  in
+  let views =
+    List.concat_map
+      (fun (rank, r) ->
+        List.init (Ring.length r) (fun i ->
+            let s = Ring.slot_of_index r i in
+            {
+              v_time = Ring.get_f r s 0;
+              v_sched = Ring.get_f r s 1;
+              v_cls = Ring.get_i r s 1;
+              v_dflow = Ring.get_i r s 2;
+              v_dsub = Ring.get_i r s 3;
+              v_dpseq = Ring.get_i r s 4;
+              v_dkind = Ring.get_i r s 5;
+              v_rank = rank;
+              v_pos = i;
+              v_ev = event_of_record r s;
+            }))
+      rings
+  in
+  List.map (fun v -> v.v_ev) (List.sort compare_view views)
 
 (* OLIA_TRACE=1 (or true/yes/on) streams JSONL to stderr; any other
    non-empty value is taken as an output path. *)
@@ -336,6 +902,7 @@ let () =
   | Some ("1" | "true" | "yes" | "on") ->
     chan := Some stderr;
     sink := Some (jsonl_writer stderr);
+    recompute_armed ();
     at_exit close
   | Some path ->
     open_jsonl ~path;

@@ -1,15 +1,29 @@
 (** Structured event tracing for the simulator.
 
-    Instrumentation sites in [lib/netsim] construct an {!event} and
-    call {!emit} only when {!enabled} returns true, so the tracing-off
-    path costs one ref read and allocates nothing. Armed, events stream
-    as JSONL — one compact [Repro_stats.Json] object per line, led by
-    an ["ev"] discriminator — via [olia_sim run --trace out.jsonl] or
-    the [OLIA_TRACE] environment variable ([1]/[true]/[yes]/[on] for
-    stderr, any other non-empty value for an output path).
+    Instrumentation sites in [lib/netsim] call the scalar emission
+    functions ({!pkt_enqueue}, {!cwnd_update}, ...) only when {!enabled}
+    returns true, so the tracing-off path costs one ref read and
+    allocates nothing. Armed, there are two delivery modes:
 
-    The sink is process-global: arm it around a single-domain run only
-    (parallel sweeps stay untraced). *)
+    - {b ring mode} (the sharded and default CLI path): each
+      participating domain binds a pre-allocated binary {!Ring} with
+      {!bind_ring}; emission is a fixed-width record write — zero minor
+      allocation, covered by the R9 [\[@olia.alloc_free\]] proof — and
+      {!decode_rings} merges the rings offline back into the exact
+      sequential event order;
+    - {b sink mode} (the original design, kept for tests and streaming):
+      a process-global [event -> unit] callback fed variant events,
+      armed via {!set_sink} / {!open_jsonl} or the [OLIA_TRACE]
+      environment variable ([1]/[true]/[yes]/[on] for stderr, any other
+      non-empty value for an output path). Sink mode allocates per
+      event and serializes writers with a mutex; arm it around
+      single-domain runs only.
+
+    A domain with a bound ring always writes its ring; the sink serves
+    armed-but-unbound domains. Either way the JSONL wire format — one
+    compact [Repro_stats.Json] object per line, led by an ["ev"]
+    discriminator — is unchanged: ring records decode back to the same
+    {!event} values. *)
 
 type tcp_state = Slow_start | Congestion_avoidance | Fast_recovery
 
@@ -81,6 +95,7 @@ type event =
   | Subflow_remove of { time : float; flow : int; subflow : int }
 
 val to_json : event -> Repro_stats.Json.t
+
 val of_json : Repro_stats.Json.t -> (event, string) result
 (** Inverse of {!to_json}. Finite floats round-trip exactly (the Json
     printer guarantees it); a [null] numeric field reads back as nan. *)
@@ -88,12 +103,44 @@ val of_json : Repro_stats.Json.t -> (event, string) result
 val state_name : tcp_state -> string
 val cause_name : drop_cause -> string
 
-val enabled : unit -> bool
-(** One ref read; instrumentation sites must guard event construction
-    with it. *)
+(** {1 Integer encodings}
 
-val emit : event -> unit
-(** Deliver to the current sink, if any (writers are serialized). *)
+    Fixed codes used inside the binary ring records. Packet kinds
+    follow [Packet.kind_code] (data 0, ack 1). *)
+
+val state_code : tcp_state -> int
+val state_of_code : int -> tcp_state
+val cause_code : drop_cause -> int
+val cause_of_code : int -> drop_cause
+
+val kind_name_of_code : int -> string
+(** [0 -> "data"], [1 -> "ack"]. *)
+
+(** {1 Interning}
+
+    Queue names intern to small ints at component creation time so the
+    armed emission path stores an int instead of touching a string.
+    Interning is mutex-protected and happens off the hot path (topology
+    construction and offline decoding). *)
+
+val intern : string -> int
+(** Id of [s], allocating a fresh one on first sight. Stable for the
+    process lifetime. *)
+
+val intern_name : int -> string
+(** Inverse of {!intern}; raises [Invalid_argument] on unknown ids. *)
+
+(** {1 Arming} *)
+
+val enabled : unit -> bool
+(** One ref read — true when either a sink is set or rings are armed.
+    Instrumentation sites must guard emission with it. *)
+
+val sink_armed : unit -> bool
+(** True when a variant sink is installed. The R9 lint treats this as a
+    guard: the sink branch of the scalar emission functions (which
+    allocates the event record) is pruned from the allocation-freedom
+    proof, exactly like [Invariant.enabled]. *)
 
 val set_sink : (event -> unit) option -> unit
 (** Install a custom sink (tests) or disarm with [None]. *)
@@ -102,7 +149,121 @@ val open_jsonl : path:string -> unit
 (** Arm tracing into a fresh JSONL file, closing any previous sink. *)
 
 val close : unit -> unit
-(** Flush and close the JSONL sink, disarming tracing. *)
+(** Flush and close the JSONL sink, disarming sink mode. *)
 
 val with_jsonl : path:string -> (unit -> 'a) -> 'a
 (** [open_jsonl], run the thunk, [close] — also on exceptions. *)
+
+(** {1 Ring mode} *)
+
+val rings_armed : unit -> bool
+(** True between {!arm_rings} and {!disarm_rings}. Worker loops use it
+    to decide whether to {!bind_ring}. *)
+
+val arm_rings : ?capacity:int -> ?policy:Ring.policy -> unit -> unit
+(** Arm ring mode and reset the ring registry. Subsequent
+    {!bind_ring} calls create rings of [capacity] records (default
+    [65536]) with overflow [policy] (default [Drop_oldest]). Call
+    before the traced run starts, from the orchestrating domain. *)
+
+val bind_ring : shard:int -> unit
+(** Create a fresh ring for the calling domain, register it under
+    [shard], and install it in domain-local storage: every subsequent
+    armed emission on this domain writes the ring. Workers call this
+    once at window-loop start. Raises [Invalid_argument] if rings are
+    not armed. *)
+
+val unbind_ring : unit -> unit
+(** Detach the calling domain from its ring (the ring stays
+    registered for decoding). *)
+
+val disarm_rings : unit -> unit
+(** Disarm ring mode and drop the registry. Decode first. *)
+
+val rings_dropped : unit -> int
+(** Total records lost to [Drop_oldest] overflow across all registered
+    rings — nonzero means {!decode_rings} is incomplete and the rings
+    need a bigger capacity. *)
+
+val decode_rings : unit -> event list
+(** Merge every registered ring into the canonical event order:
+    records sort by their dispatch key [(time, sched, class,
+    dispatching-packet identity)] — the scheduler's own dispatch order
+    — then by record content (closure dispatches carry no packet
+    identity, so same-instant serve completions need it), with ring
+    rank and in-ring position as the final tie-break. Every component
+    before rank/pos is shard-invariant, so an N-shard decode is
+    byte-identical to the 1-shard decode of the same seed. *)
+
+(** {1 Scalar emission}
+
+    The armed hot path: one function per event, taking the interned
+    queue id and integer kind code instead of strings. With a bound
+    ring these allocate nothing on the minor heap (R9-proven); on the
+    sink fallback they build the {!event} record. Callers guard with
+    {!enabled} and pass [Packet.kind_code] / the queue's interned id. *)
+
+val pkt_enqueue :
+  time:float ->
+  queue:int ->
+  flow:int ->
+  subflow:int ->
+  seq:int ->
+  kind:int ->
+  backlog:int ->
+  unit
+
+val pkt_drop :
+  time:float ->
+  queue:int ->
+  flow:int ->
+  subflow:int ->
+  seq:int ->
+  kind:int ->
+  cause:drop_cause ->
+  unit
+
+val pkt_forward :
+  time:float ->
+  queue:int ->
+  flow:int ->
+  subflow:int ->
+  seq:int ->
+  kind:int ->
+  bytes:int ->
+  qdelay:float ->
+  unit
+
+val tcp_state :
+  time:float ->
+  flow:int ->
+  subflow:int ->
+  from_state:tcp_state ->
+  to_state:tcp_state ->
+  unit
+
+val cwnd_update :
+  time:float -> flow:int -> subflow:int -> cwnd:float -> ssthresh:float -> unit
+
+val rto_fired : time:float -> flow:int -> subflow:int -> rto:float -> unit
+
+val rtt_sample :
+  time:float -> flow:int -> subflow:int -> rtt:float -> srtt:float -> unit
+
+val subflow_add : time:float -> flow:int -> subflow:int -> unit
+val subflow_remove : time:float -> flow:int -> subflow:int -> unit
+
+val emit : event -> unit
+(** Variant-level entry point: routes to the bound ring (decomposing to
+    the scalar functions, re-interning the queue name) or the sink.
+    Kept for tests and external callers holding an {!event}. *)
+
+val set_dispatch_ctx :
+  sched:float -> cls:int -> flow:int -> subflow:int -> pseq:int -> kind:int ->
+  unit
+(** Called by the scheduler once per dispatch while tracing is armed:
+    records the dispatching event's ordering key — arming time [sched],
+    dispatch class [cls] (closures 0, packets 1), and the dispatched
+    packet's identity (zeros for closures) — in domain-local storage.
+    Every ring record written during the dispatch carries it; the
+    decoder sorts on it. Allocation-free. *)

@@ -39,6 +39,9 @@ type result = {
   mean_core_loss : float;
   cut_messages : int;
   obs : Repro_obs.Meter.report;
+  shard_obs : Repro_obs.Meter.shard_counters list;
+      (* per-shard loop counters; their deterministic merge is exactly
+         what [obs] carries as events/max-depth *)
 }
 
 (* [rounds] independent random permutations (no fixed point), expanded
@@ -142,16 +145,20 @@ let run cfg =
   let losses = List.map Queue.loss_probability (Ftp.core_queues tree) in
   let all_q = Ftp.all_queues tree in
   let sum f = List.fold_left (fun acc q -> acc + f q) 0 all_q in
-  let events = ref 0 and depth = ref 0 in
-  for s = 0 to Shard.shard_count group - 1 do
-    let sim = Shard.sim group s in
-    events := !events + Sim.events_processed sim;
-    depth := Stdlib.max !depth (Sim.max_heap_depth sim)
-  done;
+  let shard_obs =
+    List.init (Shard.shard_count group) (fun s ->
+        let sim = Shard.sim group s in
+        {
+          Repro_obs.Meter.shard = s;
+          events_processed = Sim.events_processed sim;
+          max_heap_depth = Sim.max_heap_depth sim;
+        })
+  in
+  let events, depth = Repro_obs.Meter.merge_shards shard_obs in
   let obs =
     (* lint: allow R11 -- the meter reports elapsed wall time of the run by design (operator-facing); every simulation metric it carries is seeded *)
-    Repro_obs.Meter.finish meter ~sim_s:cfg.duration
-      ~events_processed:!events ~max_heap_depth:!depth
+    Repro_obs.Meter.finish meter ~sim_s:cfg.duration ~events_processed:events
+      ~max_heap_depth:depth
       ~drops_overflow:(sum Queue.drops_overflow)
       ~drops_red:(sum Queue.drops_red) ~drops_random:0
       ~subflow_goodput_bps:[]
@@ -167,4 +174,5 @@ let run cfg =
     mean_core_loss = Common.mean losses;
     cut_messages;
     obs;
+    shard_obs;
   }

@@ -4,11 +4,14 @@
     event loop or sharded pod-per-domain across OCaml domains with
     conservative lookahead ({!Repro_netsim.Shard}).
 
-    Results are shard-count-invariant up to same-instant tie-breaking:
-    the same seed produces goodputs inside tolerance bands for any
-    shard count, and [shards = 1] is bitwise identical to a sequential
-    run of the same topology — the properties the `shard-invariance` CI
-    job enforces via [olia_sim shard-invariance]. *)
+    Results are bitwise shard-count-invariant: the same seed produces
+    identical goodputs for any shard count (the scheduler's
+    [(time, sched, content)] dispatch order is reconstructible from
+    cross-shard messages), and [shards = 1] is bitwise identical to a
+    sequential run of the same topology — the properties the
+    `shard-invariance` CI job enforces via [olia_sim shard-invariance],
+    including a traced leg that byte-compares the decoded sharded
+    trace against the 1-shard trace. *)
 
 type config = {
   k : int;  (** FatTree arity; k = 8 gives 128 hosts *)
@@ -42,12 +45,19 @@ type result = {
       (** packets that crossed a shard boundary (0 when [shards = 1]) *)
   obs : Repro_obs.Meter.report;
       (** counters summed over the shards' simulators *)
+  shard_obs : Repro_obs.Meter.shard_counters list;
+      (** per-shard loop counters, ascending shards; their
+          deterministic merge ([Meter.merge_shards]) is exactly what
+          [obs] carries as events and max heap depth *)
 }
 
 val run : config -> result
 (** Build the sharded tree, start every flow, run the barrier/window
     loop on [shards] domains ({!Repro_exp.Sweep.pool} plumbing) and
     measure goodputs over [\[warmup, duration\]]. Deterministic for a
-    given (seed, shards). Raises [Invalid_argument] on a shard count
-    that does not divide [k], or if tracing is armed with
-    [shards > 1]. *)
+    given (seed, shards) — and bitwise shard-count-invariant: the
+    scheduler's [(time, sched, content)] dispatch order makes the same
+    seed produce identical goodputs for any shard count. Tracing a
+    sharded run works through per-worker rings ([Trace.arm_rings]).
+    Raises [Invalid_argument] on a shard count that does not divide
+    [k]. *)

@@ -1,0 +1,11 @@
+(* Negative twin of r9_trace_broken.ml: the same emission shape, but
+   the allocating sink fallback sits behind [Trace.sink_armed] — the
+   guard the real scalar emitters use. Sink mode is explicitly armed,
+   single-domain, and off the sharded hot path by construction, so R9
+   must prune the branch and stay silent. *)
+
+let emit_sink ev = ignore ev
+
+let[@olia.alloc_free] rtt_sample time flow rtt =
+  if flow land 1 = 0 then ignore (int_of_float (time +. rtt))
+  else if Trace.sink_armed () then emit_sink (time, flow, rtt)

@@ -560,6 +560,16 @@ let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
 let dump t = Trace.emit (keys t)
 |})
 
+(* The binary ring writer persists records just like Trace.emit, so the
+   scalar emission entry points are determinism sinks too. *)
+let test_r11_ring_writer_sink () =
+  check_count "wall clock flows into the ring writer" Finding.R11 1
+    (lint
+       {|
+let stamp () = Unix.gettimeofday ()
+let note flow = Trace.rtt_sample (stamp ()) flow
+|})
+
 (* --- on-disk fixtures: parse resilience, broken hot path ------------ *)
 
 (* Under `dune runtest` the cwd is test/'s sandbox; under a bare
@@ -609,6 +619,21 @@ let test_fixture_broken_hot_path () =
        fs);
   let _, clean = Engine.lint_paths [ fixture "r9_clean.ml" ] in
   check_count "its clean twin is silent" Finding.R9 0 clean
+
+(* The trace-emission twins: an armed-emission function whose variant
+   sink fallback allocates. Unguarded, R9 must flag the allocation;
+   behind [Trace.sink_armed] — the guard the real scalar emitters in
+   lib/obs/trace.ml use — it must prune the branch. *)
+let test_fixture_trace_sink_guard () =
+  let _, fs = Engine.lint_paths [ fixture "r9_trace_broken.ml" ] in
+  check_count "unguarded sink fallback caught" Finding.R9 1 fs;
+  Alcotest.(check bool) "finding pins the payload allocation" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.rule = Finding.R9 && contains ~needle:"tuple" f.message)
+       fs);
+  let _, clean = Engine.lint_paths [ fixture "r9_trace_clean.ml" ] in
+  check_count "Trace.sink_armed prunes the sink branch" Finding.R9 0 clean
 
 (* The fixture's content must sit at the sharded runtime's real path for
    the R10 roots to arm, so read it off disk and re-path it. *)
@@ -709,6 +734,8 @@ let suite =
     Alcotest.test_case "R11 respects guards" `Quick test_r11_guarded_silent;
     Alcotest.test_case "R11 sort sanitizes table order" `Quick
       test_r11_sort_sanitizes;
+    Alcotest.test_case "R11 treats the ring writer as a sink" `Quick
+      test_r11_ring_writer_sink;
     Alcotest.test_case "R3-fp fires on floats in twin update paths" `Quick
       test_r3_fp_fires;
     Alcotest.test_case "R3-fp exempts float-boundary adapters" `Quick
@@ -717,4 +744,6 @@ let suite =
       test_fixture_parse_resilience;
     Alcotest.test_case "fixtures: broken hot path is caught" `Quick
       test_fixture_broken_hot_path;
+    Alcotest.test_case "fixtures: sink_armed guards the emission path" `Quick
+      test_fixture_trace_sink_guard;
   ]

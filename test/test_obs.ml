@@ -563,39 +563,245 @@ let test_report_deterministic_across_runs () =
 
 (* --- the sweep guard --------------------------------------------------- *)
 
-(* The trace sink is process-global, so running a multi-domain sweep
-   with tracing armed would interleave events from unrelated points.
-   Sweep.run must refuse, and work again once the sink is gone. *)
-let test_sweep_refuses_armed_tracing () =
+(* The variant trace sink is process-global, so a multi-worker sweep
+   with a sink armed would interleave events from unrelated points into
+   one stream: Sweep.run must refuse. Ring-mode tracing is per-worker
+   (each domain binds its own ring), so the same sweep runs armed. *)
+let test_sweep_sink_refused_rings_allowed () =
   let (module Sc : S.Registry.SCENARIO) = S.Registry.find "scenario-a" in
-  let pts =
+  let point seed =
     [
-      [
-        ("duration", Repro_exp.Spec.Float 2.);
-        ("warmup", Repro_exp.Spec.Float 0.5);
-      ];
+      ("duration", Repro_exp.Spec.Float 2.);
+      ("warmup", Repro_exp.Spec.Float 0.5);
+      ("seed", Repro_exp.Spec.Int seed);
     ]
   in
+  (* Two points so the ~domains:2 request actually spawns two workers;
+     a single point degrades to the sequential path, which never needs
+     the guard. *)
+  let pts = [ point 1; point 2 ] in
   Trace.set_sink (Some (fun (_ : Trace.event) -> ()));
   (Fun.protect
      ~finally:(fun () -> Trace.set_sink None)
      (fun () ->
        match Repro_exp.Sweep.run ~domains:2 (module Sc) pts with
-       | _ -> Alcotest.fail "sweep ran with tracing armed"
+       | _ -> Alcotest.fail "sweep ran with a sink armed"
        | exception Invalid_argument msg ->
          Alcotest.(check bool)
            ("refusal explains itself: " ^ msg)
            true
            (String.length msg > 0)));
   Alcotest.(check bool) "sink released" false (Trace.enabled ());
+  (* Rings armed: each worker binds its own ring and the sweep runs. *)
+  Trace.arm_rings ~capacity:(1 lsl 16) ();
+  (Fun.protect
+     ~finally:(fun () -> Trace.disarm_rings ())
+     (fun () ->
+       match Repro_exp.Sweep.run ~domains:2 (module Sc) pts with
+       | ps ->
+         Alcotest.(check int) "ring-traced sweep covers every point" 2
+           (List.length ps);
+         Alcotest.(check bool)
+           "worker rings captured events" true
+           (List.length (Trace.decode_rings ()) > 0)));
   match Repro_exp.Sweep.run ~domains:2 (module Sc) pts with
-  | [ p ] ->
-    Alcotest.(check bool)
-      "untraced sweep runs fine" true
-      (Repro_exp.Outcome.metric p.Repro_exp.Sweep.outcome "obs_events" > 0.)
   | ps ->
-    Alcotest.fail
-      (Printf.sprintf "expected 1 sweep point, got %d" (List.length ps))
+    Alcotest.(check int) "untraced sweep covers every point" 2
+      (List.length ps);
+    List.iter
+      (fun p ->
+        Alcotest.(check bool)
+          "untraced sweep runs fine" true
+          (Repro_exp.Outcome.metric p.Repro_exp.Sweep.outcome "obs_events"
+          > 0.))
+      ps
+
+(* --- trace rings -------------------------------------------------------- *)
+
+module Ring = Repro_obs.Ring
+
+(* Circular-buffer mechanics: a Drop_oldest ring past capacity keeps
+   exactly the newest [capacity] records, counts the overwritten ones,
+   and [slot_of_index] walks the survivors oldest-to-newest. *)
+let test_ring_wraparound () =
+  let r = Ring.create ~shard:0 ~capacity:8 ~policy:Ring.Drop_oldest in
+  for i = 0 to 19 do
+    let s = Ring.claim r in
+    Ring.set_i r s 0 i;
+    Ring.set_f r s 0 (float_of_int i)
+  done;
+  Alcotest.(check int) "length capped at capacity" 8 (Ring.length r);
+  Alcotest.(check int) "overwritten records counted" 12 (Ring.dropped r);
+  Alcotest.(check int) "written counts every claim" 20 (Ring.written r);
+  Alcotest.(check (list int))
+    "retains the newest, oldest-to-newest"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.init (Ring.length r) (fun i ->
+         Ring.get_i r (Ring.slot_of_index r i) 0));
+  Alcotest.(check (list (float 0.)))
+    "float lane wraps in step"
+    [ 12.; 13.; 14.; 15.; 16.; 17.; 18.; 19. ]
+    (List.init (Ring.length r) (fun i ->
+         Ring.get_f r (Ring.slot_of_index r i) 0));
+  Ring.reset r;
+  Alcotest.(check int) "reset forgets the records" 0 (Ring.length r);
+  Alcotest.(check int) "and the drop count" 0 (Ring.dropped r)
+
+(* Fail_fast refuses the record that would overwrite history; the null
+   ring (an unbound domain) refuses every record. *)
+let test_ring_fail_fast () =
+  let r = Ring.create ~shard:1 ~capacity:4 ~policy:Ring.Fail_fast in
+  for i = 0 to 3 do
+    let s = Ring.claim r in
+    Ring.set_i r s 0 i
+  done;
+  (match Ring.claim r with
+  | _ -> Alcotest.fail "expected Ring.Full"
+  | exception Ring.Full -> ());
+  Alcotest.(check int) "nothing dropped" 0 (Ring.dropped r);
+  Alcotest.(check int) "the four survivors intact" 4 (Ring.length r);
+  match Ring.claim Ring.null with
+  | _ -> Alcotest.fail "null ring accepted a record"
+  | exception Ring.Full -> ()
+
+(* One event of each shape, with fields derived from the index and a
+   strictly increasing timestamp so the decoder's sort is total. *)
+let mk_event tag i =
+  let time = float_of_int (i + 1) *. 1e-3 in
+  let q = "rq" ^ string_of_int (i mod 3) in
+  let kind = if i mod 2 = 0 then "data" else "ack" in
+  match tag mod 9 with
+  | 0 ->
+    Trace.Pkt_enqueue
+      { time; queue = q; flow = i; subflow = i mod 2; seq = i; kind;
+        backlog = i mod 7 }
+  | 1 ->
+    Trace.Pkt_drop
+      { time; queue = q; flow = i; subflow = 0; seq = i; kind;
+        cause =
+          (match i mod 4 with
+          | 0 -> Trace.Overflow
+          | 1 -> Trace.Red_early
+          | 2 -> Trace.Random_loss
+          | _ -> Trace.Link_down) }
+  | 2 ->
+    Trace.Pkt_forward
+      { time; queue = q; flow = i; subflow = 0; seq = i; kind; bytes = 1500;
+        qdelay = float_of_int i *. 1e-4 }
+  | 3 ->
+    Trace.Tcp_state
+      { time; flow = i; subflow = 0; from_state = Trace.Slow_start;
+        to_state = Trace.Congestion_avoidance }
+  | 4 ->
+    Trace.Cwnd_update
+      { time; flow = i; subflow = 0; cwnd = float_of_int i;
+        ssthresh = float_of_int i /. 2. }
+  | 5 -> Trace.Rto_fired { time; flow = i; subflow = 0; rto = 0.25 }
+  | 6 -> Trace.Rtt_sample { time; flow = i; subflow = 0; rtt = 0.01; srtt = 0.02 }
+  | 7 -> Trace.Subflow_add { time; flow = i; subflow = 1 }
+  | _ -> Trace.Subflow_remove { time; flow = i; subflow = 1 }
+
+(* The merge property under the sharded CI gate, minus the simulator:
+   however events are partitioned across per-shard rings, the decode is
+   the one a single ring would produce. Timestamps are distinct, so the
+   canonical order is unique and the test is exact. *)
+let prop_decode_partition_invariant =
+  QCheck.Test.make ~name:"ring decode is partition-invariant" ~count:75
+    QCheck.(pair (small_list (pair (int_bound 8) (int_bound 3))) (int_range 1 4))
+    (fun (cells, shards) ->
+      let tagged =
+        List.mapi (fun i (tag, s) -> (mk_event tag i, s mod shards)) cells
+      in
+      let decode groups =
+        Trace.arm_rings ~capacity:4096 ();
+        Fun.protect
+          ~finally:(fun () -> Trace.disarm_rings ())
+          (fun () ->
+            Trace.set_dispatch_ctx ~sched:0. ~cls:0 ~flow:0 ~subflow:0 ~pseq:0
+              ~kind:0;
+            List.iter
+              (fun (shard, evs) ->
+                Trace.bind_ring ~shard;
+                List.iter Trace.emit evs)
+              groups;
+            Trace.unbind_ring ();
+            Trace.decode_rings ())
+      in
+      let single = decode [ (0, List.map fst tagged) ] in
+      let sharded =
+        decode
+          (List.init shards (fun s ->
+               ( s,
+                 List.filter_map
+                   (fun (ev, s') -> if s' = s then Some ev else None)
+                   tagged )))
+      in
+      single = sharded)
+
+(* Same build probe as test_timer.ml: dev builds pass [-opaque], which
+   discards the cross-module inlining info the unboxed call paths rely
+   on. Probe with Sim's own inlined schedule path to classify. *)
+let build_inlines_hot_paths () =
+  let sim = Repro_netsim.Sim.create () in
+  let fn () = () in
+  let sched i =
+    Repro_netsim.Sim.Timer.cancel sim
+      (Repro_netsim.Sim.schedule_after ~src:"canary" sim
+         (float_of_int i *. 1e-9) fn)
+  in
+  for i = 1 to 100 do
+    sched i
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 1000 do
+    sched i
+  done;
+  let w1 = Gc.minor_words () in
+  w1 -. w0 < 100.
+
+(* The tentpole's allocation contract, Gc-asserted: armed ring-mode
+   emission writes fixed-width records without touching the minor heap.
+   Exact in inlining (release) builds; dev builds box each float
+   argument at the non-inlined call boundary, so a loose per-event
+   bound still catches a record or closure picked up per event. *)
+let test_armed_emission_zero_alloc () =
+  Trace.arm_rings ~capacity:(1 lsl 14) ();
+  Fun.protect
+    ~finally:(fun () -> Trace.disarm_rings ())
+    (fun () ->
+      Trace.bind_ring ~shard:0;
+      let q = Trace.intern "zeroalloc-q" in
+      Trace.set_dispatch_ctx ~sched:0. ~cls:1 ~flow:1 ~subflow:0 ~pseq:0
+        ~kind:0;
+      let burst n =
+        for i = 1 to n do
+          let t = float_of_int i *. 1e-6 in
+          Trace.pkt_forward ~time:t ~queue:q ~flow:1 ~subflow:0 ~seq:i ~kind:0
+            ~bytes:1500 ~qdelay:t;
+          Trace.cwnd_update ~time:t ~flow:1 ~subflow:0 ~cwnd:t ~ssthresh:t;
+          Trace.rtt_sample ~time:t ~flow:1 ~subflow:0 ~rtt:t ~srtt:t
+        done
+      in
+      burst 200 (* warm-up: fault the lanes, populate DLS *);
+      let w0 = Gc.minor_words () in
+      burst 2000;
+      let w1 = Gc.minor_words () in
+      let events = 3 * 2000 in
+      Alcotest.(check int) "no overflow during the burst" 0
+        (Trace.rings_dropped ());
+      Alcotest.(check bool) "records landed in the ring" true
+        (List.length (Trace.decode_rings ()) = 3 * 2200);
+      if Sys.backend_type = Sys.Native then
+        if build_inlines_hot_paths () then
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "minor words for %d armed emissions" events)
+            0. (w1 -. w0)
+        else begin
+          let per_ev = (w1 -. w0) /. float_of_int events in
+          Alcotest.(check bool)
+            (Printf.sprintf "minor words per event (%.1f) < 16" per_ev)
+            true (per_ev < 16.)
+        end)
 
 (* --- event-loop profiler ----------------------------------------------- *)
 
@@ -695,8 +901,15 @@ let suite =
       test_report_jsonl_rejects_bad_line;
     Alcotest.test_case "report JSON byte-identical across runs" `Quick
       test_report_deterministic_across_runs;
-    Alcotest.test_case "sweeps refuse to run with tracing armed" `Slow
-      test_sweep_refuses_armed_tracing;
+    Alcotest.test_case "sweeps refuse sinks but run with rings" `Slow
+      test_sweep_sink_refused_rings_allowed;
+    Alcotest.test_case "ring wraparound keeps the newest records" `Quick
+      test_ring_wraparound;
+    Alcotest.test_case "fail-fast and null rings refuse records" `Quick
+      test_ring_fail_fast;
+    QCheck_alcotest.to_alcotest prop_decode_partition_invariant;
+    Alcotest.test_case "armed ring emission stays off the minor heap" `Quick
+      test_armed_emission_zero_alloc;
     Alcotest.test_case "profiler accounts dispatches per source" `Quick
       test_profile_accounting;
     Alcotest.test_case "profiler attributes event-loop sources" `Quick

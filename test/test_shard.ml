@@ -1,7 +1,7 @@
 (* Tests of the sharded simulation runtime: pod-cut extraction on the
    FatTree, deterministic cross-shard merge order, the shards=1 ≡
    sequential golden, shard-count invariance bands, determinism of
-   sharded runs, and the process-global trace guard. *)
+   sharded runs, and byte-identical trace decode across shard counts. *)
 
 open Mptcp_repro.Netsim
 module Ftp = Mptcp_repro.Topology.Fattree_pods
@@ -78,17 +78,18 @@ let test_cut_rejects_bad_shards () =
 
 (* --- merge order -------------------------------------------------------- *)
 
-let msg ~arrival ~src_shard ~chan_id ~chan_seq =
+let msg ~arrival ~src_shard ~src_seq ~chan_id ~chan_seq =
   {
-    Shard.arrival; src_shard; chan_id; chan_seq; kind = Packet.Data;
+    Shard.arrival; egress = arrival; src_shard; src_seq; chan_id; chan_seq;
+    kind = Packet.Data;
     pkt_seq = 0; flow = 0; subflow = 0; hop = 0; route = [||]; ackno = 0;
     sack = None; sent_at = 0.; enqueued_at = 0.; echo = 0.;
   }
 
-(* Per-channel batches (arrival non-decreasing, chan_seq increasing, as
-   the runtime produces them): the merged dispatch order is the unique
-   global (arrival, src_shard, chan_id, chan_seq) order, however the
-   batches are arranged. *)
+(* Per-channel batches (arrival non-decreasing, chan_seq increasing,
+   src_seq increasing per source shard, as the runtime produces them):
+   the merged dispatch order is the unique global (arrival, egress,
+   src_shard, src_seq) order, however the batches are arranged. *)
 let prop_merge_is_sequential_order =
   QCheck.Test.make ~name:"shard: merge = sequential dispatch order" ~count:200
     QCheck.(
@@ -96,6 +97,7 @@ let prop_merge_is_sequential_order =
         (pair (pair (int_range 0 3) (int_range 0 7))
            (small_list (int_range 0 20))))
     (fun chans ->
+      let counters = Array.make 4 0 in
       let batches =
         List.mapi
           (fun chan_id ((src_shard, _), deltas) ->
@@ -103,7 +105,9 @@ let prop_merge_is_sequential_order =
             List.mapi
               (fun chan_seq d ->
                 t := !t +. float_of_int d;
-                msg ~arrival:!t ~src_shard ~chan_id ~chan_seq)
+                let src_seq = counters.(src_shard) in
+                counters.(src_shard) <- src_seq + 1;
+                msg ~arrival:!t ~src_shard ~src_seq ~chan_id ~chan_seq)
               deltas)
           chans
       in
@@ -208,27 +212,31 @@ let test_sharded_run_deterministic () =
     r1.Fs.flow_mbps r2.Fs.flow_mbps;
   Alcotest.(check int) "cut messages" r1.Fs.cut_messages r2.Fs.cut_messages
 
-(* --- trace guard --------------------------------------------------------- *)
+(* --- sharded tracing ----------------------------------------------------- *)
 
-let test_trace_guard_names_shards () =
-  let t = make_pods ~k:4 ~shards:2 () in
-  Mptcp_repro.Obs.Trace.set_sink (Some (fun _ -> ()));
+(* Per-worker trace rings replaced the old run_windows tracing refusal:
+   each worker domain binds its own pre-allocated ring, and the offline
+   decoder merges them back into the scheduler's dispatch order. The
+   check that matters is byte-level — a 2-shard traced run must decode
+   to exactly the event stream of the 1-shard run. *)
+let traced_lines shards =
+  Mptcp_repro.Obs.Trace.arm_rings ~capacity:(1 lsl 19) ();
   Fun.protect
-    ~finally:(fun () -> Mptcp_repro.Obs.Trace.set_sink None)
+    ~finally:(fun () -> Mptcp_repro.Obs.Trace.disarm_rings ())
     (fun () ->
-      match
-        Shard.run_windows ~pool:seq_pool (Ftp.group t) ~horizon:0.01
-      with
-      | () -> Alcotest.fail "expected Invalid_argument"
-      | exception Invalid_argument m ->
-        let mentions needle =
-          let lh = String.length m and ln = String.length needle in
-          let rec go i =
-            i + ln <= lh && (String.sub m i ln = needle || go (i + 1))
-          in
-          go 0
-        in
-        Alcotest.(check bool) "names --shards" true (mentions "--shards"))
+      ignore (Fs.run (small_cfg shards));
+      Alcotest.(check int) "no ring overflow" 0
+        (Mptcp_repro.Obs.Trace.rings_dropped ());
+      List.map
+        (fun ev -> Repro_stats.Json.to_string (Mptcp_repro.Obs.Trace.to_json ev))
+        (Mptcp_repro.Obs.Trace.decode_rings ()))
+
+let test_traced_decode_shard_invariant () =
+  let base = traced_lines 1 in
+  let shd = traced_lines 2 in
+  Alcotest.(check int) "event counts" (List.length base) (List.length shd);
+  Alcotest.(check bool) "decoded traces byte-identical" true (base = shd);
+  Alcotest.(check bool) "non-trivial trace" true (List.length base > 1000)
 
 let suite =
   [
@@ -244,6 +252,6 @@ let suite =
       test_invariance_bands;
     Alcotest.test_case "sharded run deterministic" `Slow
       test_sharded_run_deterministic;
-    Alcotest.test_case "trace guard names --shards" `Quick
-      test_trace_guard_names_shards;
+    Alcotest.test_case "traced decode is shard-count invariant" `Slow
+      test_traced_decode_shard_invariant;
   ]
